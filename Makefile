@@ -1,0 +1,38 @@
+# Personal Virtual Networks — build/test/reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of every benchmark (experiments E1-E12 + micro-benches).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full experiment tables, as recorded in EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/pvnbench
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/secure-roaming
+	$(GO) run ./examples/video-policy
+	$(GO) run ./examples/selective-redirect
+	$(GO) run ./examples/iot-privacy
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

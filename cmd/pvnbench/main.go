@@ -1,0 +1,155 @@
+// Command pvnbench runs the paper-claim reproduction experiments and
+// prints their result tables — the same data EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	pvnbench             # run every experiment
+//	pvnbench -exp E3,E5  # run a subset
+//	pvnbench -list       # list experiments
+//	pvnbench -quick      # smaller parameters (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pvn/internal/experiments"
+)
+
+// experiment binds an ID to its runner at the selected scale.
+type experiment struct {
+	id    string
+	title string
+	run   func(quick bool) *experiments.Result
+}
+
+var all = []experiment{
+	{"E1", "middlebox instantiation/delay/memory", func(q bool) *experiments.Result {
+		p := experiments.DefaultE1
+		if q {
+			p.Instances, p.PacketsPerChain = 16, 50
+		}
+		return experiments.E1(p)
+	}},
+	{"E2", "in-network vs tunneled latency", func(q bool) *experiments.Result {
+		p := experiments.DefaultE2
+		if q {
+			p.Requests = 20
+			p.InterdomainRTTs = []time.Duration{20 * time.Millisecond, 150 * time.Millisecond}
+		}
+		return experiments.E2(p)
+	}},
+	{"E3", "split-TCP proxy vs direct", func(q bool) *experiments.Result {
+		p := experiments.DefaultE3
+		if q {
+			p.Trials = 8
+		}
+		return experiments.E3(p)
+	}},
+	{"E3c", "TCP model cross-validation", func(q bool) *experiments.Result {
+		return experiments.E3c(experiments.DefaultE3c)
+	}},
+	{"E3b", "split-TCP loss sweep (ablation)", func(q bool) *experiments.Result {
+		p := experiments.DefaultE3
+		if q {
+			p.Trials = 8
+		}
+		return experiments.E3Ablation(p)
+	}},
+	{"E4", "video shaping vs per-flow policy", func(q bool) *experiments.Result {
+		return experiments.E4(experiments.DefaultE4)
+	}},
+	{"E5", "TLS certificate validation", func(q bool) *experiments.Result {
+		p := experiments.DefaultE5
+		if q {
+			p.ConnectionsPerClass = 20
+		}
+		return experiments.E5(p)
+	}},
+	{"E6", "DNS validation + quorum ablation", func(q bool) *experiments.Result {
+		p := experiments.DefaultE6
+		if q {
+			p.Lookups = 80
+		}
+		return experiments.E6(p)
+	}},
+	{"E7", "PII detection placement", func(q bool) *experiments.Result {
+		p := experiments.DefaultE7
+		if q {
+			p.Requests = 150
+		}
+		return experiments.E7(p)
+	}},
+	{"E8", "auditor detection + probe-budget ablation", func(q bool) *experiments.Result {
+		p := experiments.DefaultE8
+		if q {
+			p.Trials = 12
+		}
+		return experiments.E8(p)
+	}},
+	{"E9", "discovery & deployment at scale", func(q bool) *experiments.Result {
+		p := experiments.DefaultE9
+		if q {
+			p.Devices = 20
+		}
+		return experiments.E9(p)
+	}},
+	{"E10", "selective redirection vs full tunnel", func(q bool) *experiments.Result {
+		return experiments.E10(experiments.DefaultE10)
+	}},
+	{"E11", "subscribers per edge host (scalability)", func(q bool) *experiments.Result {
+		p := experiments.DefaultE11
+		if q {
+			p.UserCounts = []int{1, 20, 50}
+			p.PacketsPerProbe = 500
+		}
+		return experiments.E11(p)
+	}},
+	{"E12", "multihomed selective routing", func(q bool) *experiments.Result {
+		p := experiments.DefaultE12
+		if q {
+			p.Flows = 10
+		}
+		return experiments.E12(p)
+	}},
+}
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
+	flag.Parse()
+
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[strings.ToUpper(e.id)] {
+			continue
+		}
+		start := time.Now()
+		res := e.run(*quick)
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "pvnbench: no experiment matched %q (use -list)\n", *expFlag)
+		os.Exit(1)
+	}
+}

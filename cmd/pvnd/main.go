@@ -1,0 +1,245 @@
+// Command pvnd is the PVN deployment-server daemon: the process an
+// access network runs to answer discovery messages, install PVNCs into
+// its edge switch + middlebox runtime, serve manifests for auditing and
+// tear deployments down — all over a newline-delimited JSON TCP API.
+//
+// Usage:
+//
+//	pvnd serve  -listen 127.0.0.1:7474
+//	pvnd client -connect 127.0.0.1:7474 -pvnc config.pvnc -budget 1000
+//
+// The client subcommand performs a full device-side session against a
+// running daemon: DM -> offer -> deploy -> manifest -> teardown.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"pvn/internal/deployserver"
+	"pvn/internal/discovery"
+	"pvn/internal/middlebox"
+	"pvn/internal/middlebox/mbx"
+	"pvn/internal/openflow"
+	"pvn/internal/pki"
+	"pvn/internal/pvnc"
+)
+
+// request is the daemon's wire request envelope.
+type request struct {
+	Type     string                   `json:"type"` // dm | deploy | manifest | usage | teardown
+	DM       *discovery.DM            `json:"dm,omitempty"`
+	Deploy   *discovery.DeployRequest `json:"deploy,omitempty"`
+	DeviceID string                   `json:"device_id,omitempty"`
+}
+
+// response is the daemon's wire response envelope.
+type response struct {
+	Type     string                    `json:"type"`
+	Error    string                    `json:"error,omitempty"`
+	Offer    *discovery.Offer          `json:"offer,omitempty"`
+	Deploy   *discovery.DeployResponse `json:"deploy,omitempty"`
+	Manifest *deployserver.Manifest    `json:"manifest,omitempty"`
+	Packets  int64                     `json:"packets,omitempty"`
+	Bytes    int64                     `json:"bytes,omitempty"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: pvnd {serve|client} [flags]")
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "serve":
+		serveMain(os.Args[2:])
+	case "client":
+		clientMain(os.Args[2:])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pvnd {serve|client} [flags]")
+		os.Exit(2)
+	}
+}
+
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7474", "API listen address")
+	provider := fs.String("provider", "pvnd-isp", "provider name quoted in offers")
+	fs.Parse(args)
+
+	start := time.Now()
+	now := func() time.Duration { return time.Since(start) }
+
+	rootKey, err := pki.GenerateKey(pki.NewDeterministicRand(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := pki.NewRootCA("pvnd Root", rootKey, 0, 1<<40)
+	rt := middlebox.NewRuntime(now)
+	mbx.RegisterBuiltins(rt, mbx.Deps{
+		TrustStore: pki.NewTrustStore(root.Cert),
+		NowSeconds: func() int64 { return int64(time.Since(start).Seconds()) },
+	})
+	sw := openflow.NewSwitch("pvnd-edge", now)
+	sw.Chains = rt
+
+	policy := &discovery.ProviderPolicy{
+		Provider:     *provider,
+		DeployServer: *listen,
+		Standards:    []string{discovery.StandardMatchAction, discovery.StandardMiddlebox},
+		Supported: map[string]int64{
+			"tls-verify": 0, "pii-detect": 0, "tracker-block": 0, "malware-scan": 0,
+			"classifier": 0, "compressor": 0, "prefetcher": 0, "tcp-proxy": 0,
+			"dns-validate": 0, "transcoder": 100, "user-script": 50,
+		},
+	}
+	srv := deployserver.New(policy, sw, rt, now)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("pvnd: listen: %v", err)
+	}
+	// Discovery also answers over UDP datagrams on the same port (the
+	// paper's DHCP/UPnP-style zone flooding); deployment stays on TCP.
+	if udpConn, err := net.ListenPacket("udp", *listen); err == nil {
+		go discovery.ServeUDP(udpConn, policy, now)
+		log.Printf("pvnd: UDP discovery on %s", udpConn.LocalAddr())
+	} else {
+		log.Printf("pvnd: UDP discovery disabled: %v", err)
+	}
+	log.Printf("pvnd: serving PVN deployments on %s as %q", ln.Addr(), *provider)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("pvnd: accept: %v", err)
+		}
+		go handle(conn, srv)
+	}
+}
+
+// srvMu serializes dispatch: the deployment server (like the simulated
+// data plane it fronts) is single-threaded by design, so concurrent
+// client connections take turns.
+var srvMu sync.Mutex
+
+func handle(conn net.Conn, srv *deployserver.Server) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		srvMu.Lock()
+		resp := dispatch(&req, srv)
+		srvMu.Unlock()
+		enc.Encode(resp)
+	}
+}
+
+func dispatch(req *request, srv *deployserver.Server) *response {
+	switch req.Type {
+	case "dm":
+		if req.DM == nil {
+			return &response{Type: "error", Error: "missing dm"}
+		}
+		return &response{Type: "offer", Offer: srv.HandleDM(req.DM)}
+	case "deploy":
+		if req.Deploy == nil {
+			return &response{Type: "error", Error: "missing deploy request"}
+		}
+		return &response{Type: "deploy_response", Deploy: srv.HandleDeploy(req.Deploy)}
+	case "manifest":
+		return &response{Type: "manifest", Manifest: srv.BuildManifest(req.DeviceID)}
+	case "usage":
+		p, b, ok := srv.Usage(req.DeviceID)
+		if !ok {
+			return &response{Type: "error", Error: "no deployment"}
+		}
+		return &response{Type: "usage", Packets: p, Bytes: b}
+	case "teardown":
+		p, b, err := srv.Teardown(req.DeviceID)
+		if err != nil {
+			return &response{Type: "error", Error: err.Error()}
+		}
+		return &response{Type: "usage", Packets: p, Bytes: b}
+	}
+	return &response{Type: "error", Error: fmt.Sprintf("unknown request type %q", req.Type)}
+}
+
+func clientMain(args []string) {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	connect := fs.String("connect", "127.0.0.1:7474", "daemon address")
+	pvncPath := fs.String("pvnc", "", "PVNC file to deploy")
+	budget := fs.Int64("budget", 1000, "budget in microcredits")
+	deviceID := fs.String("device", "pvnd-client", "device identifier")
+	fs.Parse(args)
+
+	if *pvncPath == "" {
+		log.Fatal("pvnd client: -pvnc is required")
+	}
+	data, err := os.ReadFile(*pvncPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := pvnc.Parse(string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if errs := cfg.Validate(); len(errs) > 0 {
+		log.Fatalf("invalid PVNC: %v", errs)
+	}
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	call := func(req *request) *response {
+		if err := enc.Encode(req); err != nil {
+			log.Fatal(err)
+		}
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			log.Fatal(err)
+		}
+		if resp.Error != "" {
+			log.Fatalf("daemon error: %s", resp.Error)
+		}
+		return &resp
+	}
+
+	neg := discovery.NewNegotiator(*deviceID, cfg, *budget, discovery.StrategyReduce)
+	dm := neg.MakeDM()
+	log.Printf("-> DM seq=%d types=%v", dm.Seq, dm.RequiredTypes)
+	offerResp := call(&request{Type: "dm", DM: dm})
+	if offerResp.Offer == nil {
+		log.Fatal("no offer from daemon")
+	}
+	log.Printf("<- offer %s: %d types, cost=%d", offerResp.Offer.OfferID, len(offerResp.Offer.SupportedTypes), offerResp.Offer.TotalCost)
+
+	dec2 := neg.Evaluate(offerResp.Offer, 0)
+	if !dec2.Accept {
+		log.Fatalf("offer unacceptable: %s", dec2.Reason)
+	}
+	depResp := call(&request{Type: "deploy", Deploy: neg.BuildDeployRequest(offerResp.Offer, dec2)})
+	if !depResp.Deploy.OK {
+		log.Fatalf("deploy NACK: %s", depResp.Deploy.Reason)
+	}
+	log.Printf("<- deployed: cookie=%d dhcp-refresh=%v", depResp.Deploy.Cookie, depResp.Deploy.DHCPRefresh)
+
+	man := call(&request{Type: "manifest", DeviceID: *deviceID})
+	log.Printf("<- manifest: hash=%.16s... types=%v rules=%d", man.Manifest.PVNCHash, man.Manifest.InstanceTypes, man.Manifest.RuleCount)
+
+	down := call(&request{Type: "teardown", DeviceID: *deviceID})
+	log.Printf("<- teardown: %d packets / %d bytes carried", down.Packets, down.Bytes)
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"pvn/internal/deployserver"
+	"pvn/internal/discovery"
+	"pvn/internal/middlebox"
+	"pvn/internal/middlebox/mbx"
+	"pvn/internal/openflow"
+	"pvn/internal/pki"
+	"pvn/internal/pvnc"
+)
+
+const testCfg = `
+pvnc t
+owner alice
+device 10.0.0.5
+middlebox pii pii-detect mode=block
+chain c pii
+policy 100 match proto=tcp dport=80 via=c action=forward
+policy 0 match any action=forward
+`
+
+func testSrv(t *testing.T) *deployserver.Server {
+	t.Helper()
+	rootKey, _ := pki.GenerateKey(pki.NewDeterministicRand(1))
+	root := pki.NewRootCA("R", rootKey, 0, 1<<40)
+	rt := middlebox.NewRuntime(nil)
+	mbx.RegisterBuiltins(rt, mbx.Deps{TrustStore: pki.NewTrustStore(root.Cert), NowSeconds: func() int64 { return 0 }})
+	sw := openflow.NewSwitch("t-edge", nil)
+	sw.Chains = rt
+	policy := &discovery.ProviderPolicy{
+		Provider: "t-isp", DeployServer: "here",
+		Standards: []string{discovery.StandardMatchAction},
+		Supported: map[string]int64{"pii-detect": 0},
+	}
+	return deployserver.New(policy, sw, rt, nil)
+}
+
+func TestDispatchFullSession(t *testing.T) {
+	srv := testSrv(t)
+	cfg, err := pvnc.Parse(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := discovery.NewNegotiator("dev1", cfg, 100, discovery.StrategyReduce)
+
+	// DM -> offer
+	resp := dispatch(&request{Type: "dm", DM: neg.MakeDM()}, srv)
+	if resp.Type != "offer" || resp.Offer == nil {
+		t.Fatalf("dm response %+v", resp)
+	}
+	dec := neg.Evaluate(resp.Offer, 0)
+	if !dec.Accept {
+		t.Fatalf("offer rejected: %s", dec.Reason)
+	}
+
+	// deploy -> ack
+	resp = dispatch(&request{Type: "deploy", Deploy: neg.BuildDeployRequest(resp.Offer, dec)}, srv)
+	if resp.Type != "deploy_response" || !resp.Deploy.OK {
+		t.Fatalf("deploy response %+v", resp)
+	}
+
+	// manifest: the hash reflects the (canonicalized) deployed config.
+	resp = dispatch(&request{Type: "manifest", DeviceID: "dev1"}, srv)
+	if resp.Manifest == nil || resp.Manifest.PVNCHash != dec.FinalConfig.Hash() {
+		t.Fatalf("manifest %+v", resp.Manifest)
+	}
+
+	// usage (zero traffic so far)
+	resp = dispatch(&request{Type: "usage", DeviceID: "dev1"}, srv)
+	if resp.Type != "usage" || resp.Packets != 0 {
+		t.Fatalf("usage %+v", resp)
+	}
+
+	// teardown
+	resp = dispatch(&request{Type: "teardown", DeviceID: "dev1"}, srv)
+	if resp.Type != "usage" {
+		t.Fatalf("teardown %+v", resp)
+	}
+	// second teardown errors
+	resp = dispatch(&request{Type: "teardown", DeviceID: "dev1"}, srv)
+	if resp.Error == "" {
+		t.Fatal("double teardown succeeded")
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	srv := testSrv(t)
+	cases := []*request{
+		{Type: "dm"},
+		{Type: "deploy"},
+		{Type: "usage", DeviceID: "ghost"},
+		{Type: "bogus"},
+	}
+	for _, req := range cases {
+		if resp := dispatch(req, srv); resp.Error == "" {
+			t.Errorf("request %+v produced no error", req)
+		}
+	}
+	// Manifest for unknown device returns nil manifest, not an error.
+	if resp := dispatch(&request{Type: "manifest", DeviceID: "ghost"}, srv); resp.Error != "" || resp.Manifest != nil {
+		t.Errorf("ghost manifest %+v", resp)
+	}
+}
+
+// TestHandleOverRealConn drives the JSON framing over a TCP connection.
+func TestHandleOverRealConn(t *testing.T) {
+	srv := testSrv(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		handle(conn, srv)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	enc, dec := json.NewEncoder(conn), json.NewDecoder(conn)
+
+	cfg, _ := pvnc.Parse(testCfg)
+	neg := discovery.NewNegotiator("dev1", cfg, 100, discovery.StrategyReduce)
+	if err := enc.Encode(&request{Type: "dm", DM: neg.MakeDM()}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != "offer" || resp.Offer == nil || resp.Offer.Provider != "t-isp" {
+		t.Fatalf("offer over wire %+v", resp)
+	}
+}

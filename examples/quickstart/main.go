@@ -1,0 +1,135 @@
+// Quickstart: the smallest end-to-end PVN session.
+//
+// A device carrying a two-middlebox PVNC attaches to an access network,
+// negotiates and deploys its personal virtual network, pushes traffic
+// through it (watching the PII blocker fire), audits the deployment via
+// attestation, and tears it down for a final invoice.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pvn/internal/billing"
+	"pvn/internal/core"
+	"pvn/internal/discovery"
+	"pvn/internal/packet"
+	"pvn/internal/pki"
+	"pvn/internal/pvnc"
+	"pvn/internal/trace"
+	"pvn/internal/tunnel"
+)
+
+const config = `
+pvnc quickstart
+owner alice
+device 10.0.0.5
+
+middlebox pii pii-detect mode=block secrets=hunter2
+middlebox trk tracker-block domains=ads.example,tracker.net
+chain secure pii trk
+
+policy 100 match proto=tcp dport=80 via=secure action=forward
+policy 0 match any action=forward
+`
+
+func main() {
+	// --- the provider side: an access network with PVN support ---
+	var now time.Duration
+	vendorKey, err := pki.GenerateKey(pki.NewDeterministicRand(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendor := pki.NewRootCA("Platform Vendor", vendorKey, 0, 1<<40)
+	network, err := core.NewStandardNetwork(core.NetworkConfig{
+		Name: "coffee-shop-wifi",
+		Provider: &discovery.ProviderPolicy{
+			Provider:     "coffee-shop-wifi",
+			DeployServer: "pvn-host",
+			Standards:    []string{discovery.StandardMatchAction, discovery.StandardMiddlebox},
+			Supported:    map[string]int64{"pii-detect": 100, "tracker-block": 50},
+		},
+		Now:        func() time.Duration { return now },
+		Vendor:     vendor,
+		VendorSeed: 2,
+		Tariff: billing.Tariff{
+			PerModuleMicro: map[string]int64{"pii-detect": 100, "tracker-block": 50},
+			PerMBMicro:     10,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- the device side ---
+	cfg, err := pvnc.Parse(config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if errs := cfg.Validate(); len(errs) > 0 {
+		log.Fatalf("invalid PVNC: %v", errs)
+	}
+	device := &core.Device{
+		ID:          "alice-phone",
+		Addr:        packet.MustParseIPv4("10.0.0.5"),
+		Config:      cfg,
+		BudgetMicro: 1000,
+		Strategy:    discovery.StrategyReduce,
+		Tunnels:     tunnel.NewTable(packet.MustParseIPv4("10.0.0.5")),
+		Vendors:     pki.NewTrustStore(vendor.Cert),
+	}
+
+	// --- lifecycle: discover -> negotiate -> deploy ---
+	session, err := core.Connect(device, []*core.AccessNetwork{network})
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	for _, m := range session.Messages {
+		fmt.Println("lifecycle:", m)
+	}
+	fmt.Printf("mode=%s cookie=%d cost=%d microcredits\n\n", session.Mode, session.Cookie, session.Decision.Cost)
+
+	// Middleboxes boot in ~30ms of simulated time.
+	now = session.ReadyAt() + time.Millisecond
+
+	// --- run: traffic through the personal virtual network ---
+	dst := packet.MustParseIPv4("93.184.216.34")
+	show := func(label string, data []byte) {
+		d, err := session.Process(data, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-38s -> %s (delay %v)\n", label, d.Verdict, d.Delay)
+	}
+	leak, _ := trace.HTTPRequestPacket(device.Addr, dst, 40000, "api.example", "/login", "user=alice&password=hunter2")
+	show("POST /login with leaked password", leak)
+	clean, _ := trace.HTTPRequestPacket(device.Addr, dst, 40001, "news.example", "/today", "")
+	show("GET news.example", clean)
+	tracker, _ := trace.HTTPRequestPacket(device.Addr, dst, 40002, "ads.example", "/pixel", "")
+	show("GET ads.example tracking pixel", tracker)
+
+	fmt.Println("\nalerts raised by the PVN:")
+	for _, a := range session.Alerts() {
+		fmt.Printf("  [%s] %s: %s\n", a.Kind, a.Instance, a.Detail)
+	}
+
+	// --- audit: verify the provider really runs our configuration ---
+	if err := session.Audit(int64(now.Seconds())); err != nil {
+		log.Fatalf("audit failed: %v", err)
+	}
+	fmt.Println("\naudit: attestation verified against the platform vendor root")
+
+	// --- teardown + invoice ---
+	invoice, err := session.Teardown()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninvoice from %s for %s:\n", invoice.Provider, invoice.User)
+	for _, line := range invoice.Lines {
+		fmt.Printf("  %-40s %6d micro\n", line.Description, line.AmountMicro)
+	}
+	fmt.Printf("  %-40s %6d micro\n", "TOTAL", invoice.TotalMicro)
+}

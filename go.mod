@@ -1,0 +1,3 @@
+module pvn
+
+go 1.22

@@ -1,0 +1,109 @@
+// Package auditor implements the paper's "trust but verify" machinery
+// (§3.1 "Auditor", §3.3): client-verifiable attestations that the
+// requested configuration and code are what actually runs, and active
+// measurements that detect policy violations an attestation cannot cover
+// — traffic differentiation, content modification, path inflation and
+// privacy exposure. Confirmed violations become evidence records that
+// feed billing disputes and provider reputation.
+package auditor
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"pvn/internal/pki"
+)
+
+// Attestation errors.
+var (
+	ErrBadAttestation  = errors.New("auditor: attestation signature invalid")
+	ErrUntrustedSigner = errors.New("auditor: attestation key not vouched by platform vendor")
+	ErrHashMismatch    = errors.New("auditor: deployed configuration differs from requested")
+)
+
+// Statement is the signed claim: "this deployment runs this
+// configuration". The detail blob carries the provider's manifest.
+type Statement struct {
+	// Provider names the attesting network.
+	Provider string `json:"provider"`
+	// DeviceID and PVNCHash identify the deployment.
+	DeviceID string `json:"device_id"`
+	PVNCHash string `json:"pvnc_hash"`
+	// IssuedAt is seconds on the simulation timeline.
+	IssuedAt int64 `json:"issued_at"`
+	// Nonce is supplied by the challenger to prevent replay.
+	Nonce uint64 `json:"nonce"`
+	// Detail carries the provider's manifest (chains, instance types,
+	// rule count) as JSON.
+	Detail json.RawMessage `json:"detail,omitempty"`
+}
+
+// Attestation is a statement signed by the provider's platform key, with
+// the certificate binding that key to the platform vendor.
+type Attestation struct {
+	Statement Statement `json:"statement"`
+	Signature []byte    `json:"signature"`
+	// KeyCert chains the signing key to a trusted platform vendor
+	// (leaf-first), the stand-in for an SGX-style quote chain.
+	KeyCert [][]byte `json:"key_cert"`
+}
+
+// Attester is the provider-side signer, running on the (modelled)
+// trusted hardware.
+type Attester struct {
+	key  ed25519.PrivateKey
+	cert []*pki.Certificate
+}
+
+// NewAttester builds a signer whose key is certified by the given chain
+// (leaf certifies kp.Public).
+func NewAttester(kp pki.KeyPair, chain []*pki.Certificate) *Attester {
+	return &Attester{key: kp.Private, cert: chain}
+}
+
+// Attest signs a statement.
+func (a *Attester) Attest(st Statement) (*Attestation, error) {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("auditor: marshal statement: %w", err)
+	}
+	return &Attestation{
+		Statement: st,
+		Signature: ed25519.Sign(a.key, body),
+		KeyCert:   pki.EncodeChain(a.cert),
+	}, nil
+}
+
+// VerifyAttestation checks the attestation against the platform-vendor
+// trust store: the key certificate must chain to a trusted vendor root,
+// the signature must verify under that key, the nonce must match the
+// challenge, and the attested hash must equal the hash the device
+// requested.
+func VerifyAttestation(att *Attestation, vendors *pki.TrustStore, wantHash string, nonce uint64, nowSeconds int64) error {
+	chain, err := pki.DecodeChain(att.KeyCert)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUntrustedSigner, err)
+	}
+	if len(chain) == 0 {
+		return ErrUntrustedSigner
+	}
+	if err := vendors.Verify(chain, "", nowSeconds); err != nil {
+		return fmt.Errorf("%w: %v", ErrUntrustedSigner, err)
+	}
+	body, err := json.Marshal(att.Statement)
+	if err != nil {
+		return fmt.Errorf("auditor: marshal statement: %w", err)
+	}
+	if !ed25519.Verify(chain[0].PublicKey, body, att.Signature) {
+		return ErrBadAttestation
+	}
+	if att.Statement.Nonce != nonce {
+		return fmt.Errorf("%w: nonce %d, want %d (replay?)", ErrBadAttestation, att.Statement.Nonce, nonce)
+	}
+	if att.Statement.PVNCHash != wantHash {
+		return fmt.Errorf("%w: attested %s, requested %s", ErrHashMismatch, att.Statement.PVNCHash, wantHash)
+	}
+	return nil
+}

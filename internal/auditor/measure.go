@@ -1,0 +1,174 @@
+package auditor
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ViolationKind classifies a detected policy violation.
+type ViolationKind string
+
+// Violation kinds, matching the paper's list of auditable policies
+// (§3.1): "tests for service differentiation, content modification,
+// privacy exposure, inflated/short-circuited paths".
+const (
+	ViolationDifferentiation ViolationKind = "differentiation"
+	ViolationContentMod      ViolationKind = "content-modification"
+	ViolationPathInflation   ViolationKind = "path-inflation"
+	ViolationPrivacyExposure ViolationKind = "privacy-exposure"
+	ViolationConfigTampering ViolationKind = "config-tampering"
+)
+
+// Violation is one piece of evidence against a provider.
+type Violation struct {
+	Kind     ViolationKind
+	Provider string
+	Detail   string
+	// Score quantifies severity/confidence in [0,1].
+	Score float64
+	At    time.Duration
+}
+
+// DifferentiationResult reports a Glasnost-style comparison between a
+// control flow class and a suspect flow class [9,19].
+type DifferentiationResult struct {
+	// Detected is true when the suspect class is being treated worse
+	// with both statistical and practical significance.
+	Detected bool
+	// ControlMedian and TestMedian are throughput medians (any unit).
+	ControlMedian, TestMedian float64
+	// Ratio is control/test; > 1 means the test class is slower.
+	Ratio float64
+	// ZScore is the rank-sum z statistic.
+	ZScore float64
+}
+
+// DifferentiationTest compares throughput samples of a control class
+// against a suspect class and reports whether the suspect class is
+// systematically degraded. Detection requires a rank-sum z beyond 2.58
+// (p < 0.01) AND a median degradation of at least 20%, so ordinary noise
+// does not trigger it.
+func DifferentiationTest(control, test []float64) DifferentiationResult {
+	res := DifferentiationResult{
+		ControlMedian: median(control),
+		TestMedian:    median(test),
+	}
+	if res.TestMedian > 0 {
+		res.Ratio = res.ControlMedian / res.TestMedian
+	} else if res.ControlMedian > 0 {
+		res.Ratio = math.Inf(1)
+	} else {
+		res.Ratio = 1
+	}
+	res.ZScore = rankSumZ(control, test)
+	res.Detected = res.ZScore > 2.58 && res.Ratio > 1.2
+	return res
+}
+
+// median returns the middle sample, or 0 for no samples.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// rankSumZ computes the Wilcoxon rank-sum z statistic for "control ranks
+// above test". Positive z means the control class is faster.
+func rankSumZ(control, test []float64) float64 {
+	n1, n2 := len(control), len(test)
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	type obs struct {
+		v       float64
+		control bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range control {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range test {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign ranks with tie averaging.
+	ranks := make([]float64, len(all))
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.control {
+			r1 += ranks[i]
+		}
+	}
+	mu := float64(n1) * float64(n1+n2+1) / 2
+	sigma := math.Sqrt(float64(n1) * float64(n2) * float64(n1+n2+1) / 12)
+	if sigma == 0 {
+		return 0
+	}
+	return (r1 - mu) / sigma
+}
+
+// ContentModificationCheck compares the payload a cooperating endpoint
+// sent against what arrived. It reports nil when they match, or a
+// description of the tampering (truncation, injection, rewrite).
+func ContentModificationCheck(sent, received []byte) error {
+	if bytes.Equal(sent, received) {
+		return nil
+	}
+	switch {
+	case len(received) < len(sent) && bytes.Equal(received, sent[:len(received)]):
+		return fmt.Errorf("auditor: content truncated (%d of %d bytes)", len(received), len(sent))
+	case len(received) > len(sent) && bytes.Equal(received[:len(sent)], sent):
+		return fmt.Errorf("auditor: content injected (+%d bytes)", len(received)-len(sent))
+	default:
+		i := 0
+		for i < len(sent) && i < len(received) && sent[i] == received[i] {
+			i++
+		}
+		return fmt.Errorf("auditor: content rewritten at byte %d", i)
+	}
+}
+
+// PathInflationCheck compares an observed RTT against a baseline (e.g.
+// the topologically expected latency or a historical floor). Ratios
+// beyond threshold indicate the provider is hairpinning traffic [45].
+// threshold <= 1 defaults to 1.5.
+func PathInflationCheck(expected, observed time.Duration, threshold float64) (bool, float64) {
+	if threshold <= 1 {
+		threshold = 1.5
+	}
+	if expected <= 0 {
+		return false, 1
+	}
+	ratio := float64(observed) / float64(expected)
+	return ratio > threshold, ratio
+}
+
+// PrivacyExposureCheck reports whether a canary token planted in probe
+// traffic surfaced where it should not have (e.g. an observer beyond the
+// PVN boundary, or an ad profile). exposure is the raw data the canary
+// was found in.
+func PrivacyExposureCheck(canary string, exposure []byte) bool {
+	return canary != "" && bytes.Contains(exposure, []byte(canary))
+}

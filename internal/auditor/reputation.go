@@ -1,0 +1,117 @@
+package auditor
+
+import (
+	"sort"
+	"time"
+)
+
+// Ledger accumulates audit outcomes per provider and derives
+// reputations. Observed violations "can be used as evidence in billing
+// disputes, and to inform reputations for PVN providers" (§3.1); repeat
+// offenders get blacklisted and lose business (§3.3).
+type Ledger struct {
+	violations map[string][]Violation
+	audits     map[string]int
+	// BlacklistThreshold is the violation rate (violations per audit)
+	// at which a provider is blacklisted. Zero defaults to 0.5.
+	BlacklistThreshold float64
+}
+
+// NewLedger builds an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{violations: make(map[string][]Violation), audits: make(map[string]int)}
+}
+
+// RecordAudit notes that one audit pass ran against a provider.
+func (l *Ledger) RecordAudit(provider string) { l.audits[provider]++ }
+
+// RecordViolation stores evidence.
+func (l *Ledger) RecordViolation(v Violation) {
+	l.violations[v.Provider] = append(l.violations[v.Provider], v)
+}
+
+// Violations returns the evidence against a provider.
+func (l *Ledger) Violations(provider string) []Violation {
+	return append([]Violation(nil), l.violations[provider]...)
+}
+
+// Reputation returns a score in [0,1]: 1 means no violation ever
+// observed; each violation-bearing audit drags it down proportionally.
+// Providers never audited score 1 (no evidence either way).
+func (l *Ledger) Reputation(provider string) float64 {
+	audits := l.audits[provider]
+	if audits == 0 {
+		return 1
+	}
+	bad := len(l.violations[provider])
+	score := 1 - float64(bad)/float64(audits)
+	if score < 0 {
+		return 0
+	}
+	return score
+}
+
+// Blacklisted reports whether a provider's violation rate crossed the
+// threshold.
+func (l *Ledger) Blacklisted(provider string) bool {
+	audits := l.audits[provider]
+	if audits == 0 {
+		return false
+	}
+	th := l.BlacklistThreshold
+	if th == 0 {
+		th = 0.5
+	}
+	return float64(len(l.violations[provider]))/float64(audits) >= th
+}
+
+// Ranked returns providers ordered best-reputation-first (ties
+// alphabetical), the list a device consults when choosing where to
+// tunnel (§3.3).
+func (l *Ledger) Ranked() []string {
+	set := map[string]bool{}
+	for p := range l.audits {
+		set[p] = true
+	}
+	for p := range l.violations {
+		set[p] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := l.Reputation(out[i]), l.Reputation(out[j])
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Dispute is a billing dispute backed by audit evidence.
+type Dispute struct {
+	Provider string
+	DeviceID string
+	// Evidence is the violations cited.
+	Evidence []Violation
+	// ClaimMicro is the refund claimed, in microcredits.
+	ClaimMicro int64
+	OpenedAt   time.Duration
+}
+
+// OpenDispute assembles a dispute from the ledger's evidence against a
+// provider. It returns nil when there is no evidence: disputes must be
+// backed by observations.
+func (l *Ledger) OpenDispute(provider, deviceID string, claim int64, now time.Duration) *Dispute {
+	ev := l.violations[provider]
+	if len(ev) == 0 {
+		return nil
+	}
+	return &Dispute{
+		Provider: provider, DeviceID: deviceID,
+		Evidence:   append([]Violation(nil), ev...),
+		ClaimMicro: claim, OpenedAt: now,
+	}
+}

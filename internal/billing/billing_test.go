@@ -1,0 +1,130 @@
+package billing
+
+import (
+	"errors"
+	"testing"
+
+	"pvn/internal/auditor"
+)
+
+var tariff = Tariff{
+	PerModuleMicro: map[string]int64{"tls-verify": 100, "transcoder": 300},
+	PerMBMicro:     10,
+	FreeBytes:      1 << 20, // 1 MiB free
+}
+
+func TestGenerateInvoiceModulesAndTraffic(t *testing.T) {
+	inv := GenerateInvoice("isp1", tariff, Usage{
+		User:        "alice",
+		ModuleTypes: []string{"tls-verify", "transcoder"},
+		Bytes:       3 << 20, // 3 MiB: 2 billable
+	})
+	if len(inv.Lines) != 3 {
+		t.Fatalf("lines %d: %+v", len(inv.Lines), inv.Lines)
+	}
+	if inv.TotalMicro != 100+300+20 {
+		t.Fatalf("total %d", inv.TotalMicro)
+	}
+}
+
+func TestGenerateInvoiceFreeTier(t *testing.T) {
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "alice", Bytes: 512 << 10})
+	if inv.TotalMicro != 0 || len(inv.Lines) != 0 {
+		t.Fatalf("free-tier invoice %+v", inv)
+	}
+}
+
+func TestGenerateInvoiceDuplicateModulesBillTwice(t *testing.T) {
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "a", ModuleTypes: []string{"tls-verify", "tls-verify"}})
+	if inv.TotalMicro != 200 {
+		t.Fatalf("total %d", inv.TotalMicro)
+	}
+}
+
+func TestGenerateInvoiceUnknownModuleIsFree(t *testing.T) {
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "a", ModuleTypes: []string{"exotic"}})
+	if inv.TotalMicro != 0 {
+		t.Fatalf("total %d", inv.TotalMicro)
+	}
+}
+
+func dispute(kinds ...auditor.ViolationKind) *auditor.Dispute {
+	d := &auditor.Dispute{Provider: "isp1", DeviceID: "dev1"}
+	for _, k := range kinds {
+		d.Evidence = append(d.Evidence, auditor.Violation{Kind: k, Provider: "isp1"})
+	}
+	return d
+}
+
+func TestApplyDisputeRefunds(t *testing.T) {
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "a", ModuleTypes: []string{"tls-verify"}}) // 100
+	refund := ApplyDispute(inv, dispute(auditor.ViolationDifferentiation), nil)
+	if refund != 30 {
+		t.Fatalf("refund %d, want 30 (30%% of 100)", refund)
+	}
+	if inv.TotalMicro != 70 || inv.RefundMicro != 30 {
+		t.Fatalf("invoice %+v", inv)
+	}
+}
+
+func TestApplyDisputeTakesWorstViolation(t *testing.T) {
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "a", ModuleTypes: []string{"tls-verify"}})
+	refund := ApplyDispute(inv, dispute(auditor.ViolationPathInflation, auditor.ViolationConfigTampering), nil)
+	if refund != 100 || inv.TotalMicro != 0 {
+		t.Fatalf("refund %d total %d, want full refund", refund, inv.TotalMicro)
+	}
+}
+
+func TestApplyDisputeNilAndEmpty(t *testing.T) {
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "a", ModuleTypes: []string{"tls-verify"}})
+	if r := ApplyDispute(inv, nil, nil); r != 0 {
+		t.Fatalf("nil dispute refunded %d", r)
+	}
+	if r := ApplyDispute(inv, &auditor.Dispute{}, nil); r != 0 {
+		t.Fatalf("empty dispute refunded %d", r)
+	}
+	if inv.TotalMicro != 100 {
+		t.Fatalf("total changed: %d", inv.TotalMicro)
+	}
+}
+
+func TestApplyDisputeNeverExceedsTotal(t *testing.T) {
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "a", ModuleTypes: []string{"tls-verify"}})
+	ApplyDispute(inv, dispute(auditor.ViolationContentMod), nil) // -50
+	ApplyDispute(inv, dispute(auditor.ViolationContentMod), nil) // would be -50 again, capped
+	if inv.TotalMicro < 0 {
+		t.Fatalf("total went negative: %d", inv.TotalMicro)
+	}
+}
+
+func TestLedgerSettle(t *testing.T) {
+	l := NewLedger()
+	l.Credit("alice", 1000)
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "alice", ModuleTypes: []string{"transcoder"}}) // 300
+	if err := l.Settle(inv); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance("alice") != 700 || l.Balance("isp1") != 300 {
+		t.Fatalf("balances %d/%d", l.Balance("alice"), l.Balance("isp1"))
+	}
+}
+
+func TestLedgerInsufficientFunds(t *testing.T) {
+	l := NewLedger()
+	l.Credit("alice", 10)
+	inv := GenerateInvoice("isp1", tariff, Usage{User: "alice", ModuleTypes: []string{"transcoder"}})
+	if err := l.Settle(inv); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("err=%v", err)
+	}
+	if l.Balance("alice") != 10 || l.Balance("isp1") != 0 {
+		t.Fatal("failed settle had side effects")
+	}
+}
+
+func TestLedgerZeroInvoiceSettles(t *testing.T) {
+	l := NewLedger()
+	inv := &Invoice{Provider: "isp1", User: "alice", TotalMicro: 0}
+	if err := l.Settle(inv); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pvn/internal/auditor"
+	"pvn/internal/billing"
+	"pvn/internal/deployserver"
+	"pvn/internal/discovery"
+	"pvn/internal/dnssim"
+	"pvn/internal/middlebox"
+	"pvn/internal/middlebox/mbx"
+	"pvn/internal/openflow"
+	"pvn/internal/pki"
+)
+
+// NetworkConfig assembles a standard AccessNetwork: an edge switch wired
+// to a middlebox runtime with all built-in middleboxes registered, a
+// deployment server fronted by the given provider policy, and an
+// attestation key certified by the platform vendor.
+type NetworkConfig struct {
+	Name string
+	// Provider is the discovery policy. Nil builds a network with no
+	// PVN support at all.
+	Provider *discovery.ProviderPolicy
+	// Now supplies simulated time (nil = time zero).
+	Now func() time.Duration
+	// NowSeconds supplies certificate-validity time (nil = zero).
+	NowSeconds func() int64
+	// TrustStore, Anchors, OpenResolvers parameterize the security
+	// middleboxes.
+	TrustStore    *pki.TrustStore
+	Anchors       dnssim.TrustAnchors
+	OpenResolvers []*dnssim.Resolver
+	// Vendor certifies the network's attestation key; nil disables
+	// attestation.
+	Vendor *pki.CA
+	// VendorSeed derives the attestation key deterministically.
+	VendorSeed uint64
+	// MemoryCapBytes bounds the middlebox host (0 = default).
+	MemoryCapBytes int
+	// Tariff prices usage.
+	Tariff billing.Tariff
+}
+
+// NewStandardNetwork builds the network.
+func NewStandardNetwork(cfg NetworkConfig) (*AccessNetwork, error) {
+	now := cfg.Now
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	n := &AccessNetwork{Name: cfg.Name, Provider: cfg.Provider, Now: now, Tariff: cfg.Tariff}
+	if cfg.Provider == nil {
+		return n, nil // PVN-free network
+	}
+
+	rt := middlebox.NewRuntime(now)
+	if cfg.MemoryCapBytes > 0 {
+		rt.MemoryCapBytes = cfg.MemoryCapBytes
+	}
+	ts := cfg.TrustStore
+	if ts == nil {
+		ts = pki.NewTrustStore()
+	}
+	nowSec := cfg.NowSeconds
+	if nowSec == nil {
+		nowSec = func() int64 { return 0 }
+	}
+	mbx.RegisterBuiltins(rt, mbx.Deps{
+		TrustStore:    ts,
+		NowSeconds:    nowSec,
+		Anchors:       cfg.Anchors,
+		OpenResolvers: cfg.OpenResolvers,
+	})
+
+	sw := openflow.NewSwitch(cfg.Name+"-edge", now)
+	sw.Chains = rt
+	n.Server = deployserver.New(cfg.Provider, sw, rt, now)
+
+	if cfg.Vendor != nil {
+		kp, err := pki.GenerateKey(pki.NewDeterministicRand(cfg.VendorSeed))
+		if err != nil {
+			return nil, fmt.Errorf("core: attestation key: %w", err)
+		}
+		cert := cfg.Vendor.Issue(pki.IssueOptions{
+			Subject:    cfg.Name + "-platform",
+			PublicKey:  kp.Public,
+			ValidFrom:  0,
+			ValidUntil: 1 << 40,
+		})
+		n.Attester = auditor.NewAttester(kp, []*pki.Certificate{cert})
+	}
+	return n, nil
+}

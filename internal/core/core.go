@@ -1,0 +1,347 @@
+// Package core is the PVN library proper: it ties the substrates
+// together into the lifecycle the paper describes (§3.1) —
+//
+//	discover → negotiate → deploy → run → audit → teardown
+//
+// A Device carries a PVNC, a budget and a negotiation strategy. An
+// AccessNetwork bundles a provider policy, an edge switch, a middlebox
+// runtime, a deployment server and an attester. Connect runs discovery
+// against every network in range and either deploys in-network or falls
+// back to tunneling toward a trusted PVN host elsewhere (§3.3 "coping
+// with unavailability", Fig 1c).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pvn/internal/auditor"
+	"pvn/internal/billing"
+	"pvn/internal/deployserver"
+	"pvn/internal/discovery"
+	"pvn/internal/middlebox"
+	"pvn/internal/openflow"
+	"pvn/internal/packet"
+	"pvn/internal/pki"
+	"pvn/internal/pvnc"
+	"pvn/internal/tunnel"
+)
+
+// Errors.
+var (
+	ErrNoPVNSupport = errors.New("core: no acceptable PVN offer and no trusted tunnel fallback")
+	ErrDeployFailed = errors.New("core: deployment rejected")
+	ErrNotDeployed  = errors.New("core: session has no in-network deployment")
+)
+
+// Device is the user side of a PVN.
+type Device struct {
+	ID   string
+	Addr packet.IPv4Address
+	// Config is the validated PVNC to deploy.
+	Config *pvnc.PVNC
+	// BudgetMicro bounds spending per deployment.
+	BudgetMicro int64
+	// Strategy picks the fallback behaviour for partial offers.
+	Strategy discovery.Strategy
+	// AutoRenegotiate lets a strict device answer a partial offer with
+	// a counter-DM quoting the supported subset instead of giving up —
+	// the paper's automated soft-constraint negotiation (§3.1, §3.3).
+	AutoRenegotiate bool
+	// Tunnels are the device's off-network PVN locations (cloud, home).
+	Tunnels *tunnel.Table
+	// Vendors is the platform-vendor trust store attestations verify
+	// against.
+	Vendors *pki.TrustStore
+
+	nonce uint64
+}
+
+// AccessNetwork is one network a device can attach to.
+type AccessNetwork struct {
+	Name string
+	// Provider is the discovery policy; nil or Disabled means no PVN
+	// support.
+	Provider *discovery.ProviderPolicy
+	// Server installs deployments (nil when unsupported).
+	Server *deployserver.Server
+	// Attester signs deployment attestations; nil means the provider
+	// cannot produce them (audits will fail).
+	Attester *auditor.Attester
+	// Now supplies simulated time.
+	Now func() time.Duration
+	// Tariff prices usage for invoicing.
+	Tariff billing.Tariff
+
+	// AttestationLies, when set, makes the provider attest to the
+	// device's requested hash regardless of what actually runs — the
+	// dishonest-ISP case experiment E8 audits.
+	AttestationLies bool
+}
+
+// clock returns the network's time function, defaulting to zero time.
+func (n *AccessNetwork) clock() func() time.Duration {
+	if n.Now != nil {
+		return n.Now
+	}
+	return func() time.Duration { return 0 }
+}
+
+// Mode says how a session's traffic is protected.
+type Mode string
+
+// Session modes.
+const (
+	// ModeInNetwork means a PVN is deployed in the access network.
+	ModeInNetwork Mode = "in-network"
+	// ModeTunneled means traffic detours to a remote PVN host.
+	ModeTunneled Mode = "tunneled"
+	// ModeBare means no PVN protections are active.
+	ModeBare Mode = "bare"
+)
+
+// Session is one device↔network attachment.
+type Session struct {
+	Device  *Device
+	Network *AccessNetwork
+	Mode    Mode
+	// Decision records the negotiation outcome.
+	Decision discovery.Decision
+	// Offer is the accepted offer (nil for tunneled/bare).
+	Offer *discovery.Offer
+	// Cookie identifies the in-network deployment.
+	Cookie uint64
+	// TunnelEndpoint is set in ModeTunneled.
+	TunnelEndpoint *tunnel.Endpoint
+	// Messages narrates the lifecycle for logs and examples.
+	Messages []string
+}
+
+func (s *Session) logf(format string, args ...interface{}) {
+	s.Messages = append(s.Messages, fmt.Sprintf(format, args...))
+}
+
+// Connect runs discovery and deployment against the networks in range
+// and returns the established session. When no offer is acceptable it
+// falls back to the best trusted tunnel endpoint; with no such endpoint
+// it returns ErrNoPVNSupport alongside a bare session (the caller may
+// still use the network unprotected).
+func Connect(dev *Device, networks []*AccessNetwork) (*Session, error) {
+	neg := discovery.NewNegotiator(dev.ID, dev.Config, dev.BudgetMicro, dev.Strategy)
+	dm := neg.MakeDM()
+
+	// Discovery spans every provider in the zone (§3.1 "limited
+	// flooding").
+	var offers []*discovery.Offer
+	offerNet := map[string]*AccessNetwork{}
+	for _, n := range networks {
+		if n.Server == nil || n.Provider == nil {
+			continue
+		}
+		if offer := n.Server.HandleDM(dm); offer != nil {
+			offers = append(offers, offer)
+			offerNet[offer.OfferID] = n
+		}
+	}
+
+	primary := networks[0]
+	s := &Session{Device: dev, Network: primary, Mode: ModeBare}
+	s.logf("discovery: dm seq=%d types=%v -> %d offers", dm.Seq, dm.RequiredTypes, len(offers))
+
+	if len(offers) > 0 {
+		now := primary.clock()()
+		if offer, dec, ok := neg.BestOffer(offers, now); ok {
+			if done := s.deploy(offerNet[offer.OfferID], neg, offer, dec); done {
+				return s, nil
+			}
+		} else {
+			s.logf("no acceptable offer (strategy=%d budget=%d)", dev.Strategy, dev.BudgetMicro)
+			if dev.AutoRenegotiate {
+				if done := s.renegotiate(neg, offers, offerNet); done {
+					return s, nil
+				}
+			}
+		}
+	}
+
+	// Fallback: tunnel to the nearest trusted PVN location.
+	if dev.Tunnels != nil {
+		if ep, ok := dev.Tunnels.BestTrusted(); ok {
+			s.Mode = ModeTunneled
+			s.TunnelEndpoint = ep
+			s.logf("tunneling to %s (extra RTT %v)", ep.Name, ep.ExtraRTT)
+			return s, nil
+		}
+	}
+	return s, ErrNoPVNSupport
+}
+
+// deploy sends the deployment request and finalizes the session on ACK.
+// It reports whether the session is established.
+func (s *Session) deploy(n *AccessNetwork, neg *discovery.Negotiator, offer *discovery.Offer, dec discovery.Decision) bool {
+	req := neg.BuildDeployRequest(offer, dec)
+	resp := n.Server.HandleDeploy(req)
+	if !resp.OK {
+		s.logf("deploy NACK from %s: %s", n.Name, resp.Reason)
+		return false
+	}
+	s.Network = n
+	s.Mode = ModeInNetwork
+	s.Decision = dec
+	s.Offer = offer
+	s.Cookie = resp.Cookie
+	s.logf("deployed on %s: cookie=%d cost=%d dropped=%v dhcp-refresh=%v",
+		n.Name, resp.Cookie, dec.Cost, dec.Dropped, resp.DHCPRefresh)
+	return true
+}
+
+// renegotiate runs one counter-DM round (§3.1: "send a new DM with a
+// PVNC that includes a subset of the original configuration") against
+// each offering provider, taking the first acceptable re-quote.
+func (s *Session) renegotiate(neg *discovery.Negotiator, offers []*discovery.Offer, offerNet map[string]*AccessNetwork) bool {
+	for _, offer := range offers {
+		if offer == nil {
+			continue
+		}
+		dm2, reduced, ok := neg.CounterDM(offer)
+		if !ok {
+			continue
+		}
+		n := offerNet[offer.OfferID]
+		offer2 := n.Server.HandleDM(dm2)
+		if offer2 == nil {
+			continue
+		}
+		s.logf("counter-DM to %s: %d types re-quoted at %d", n.Name, len(dm2.RequiredTypes), offer2.TotalCost)
+		neg2 := discovery.NewNegotiator(s.Device.ID, reduced, s.Device.BudgetMicro, discovery.StrategyStrict)
+		dec := neg2.Evaluate(offer2, n.clock()())
+		if !dec.Accept {
+			s.logf("re-quote from %s still unacceptable: %s", n.Name, dec.Reason)
+			continue
+		}
+		if s.deploy(n, neg2, offer2, dec) {
+			return true
+		}
+	}
+	return false
+}
+
+// Process runs one raw IPv4 packet through the session's data plane and
+// returns the switch disposition. In tunneled mode the packet is
+// encapsulated first (the disposition then describes the outer packet).
+func (s *Session) Process(data []byte, inPort uint16) (openflow.Disposition, error) {
+	switch s.Mode {
+	case ModeInNetwork:
+		return s.Network.Server.Switch.Process(data, inPort), nil
+	case ModeTunneled:
+		outer, _, err := s.Device.Tunnels.Wrap(s.TunnelEndpoint.Name, data)
+		if err != nil {
+			return openflow.Disposition{}, err
+		}
+		return openflow.Disposition{Verdict: openflow.VerdictTunnel, TunnelName: s.TunnelEndpoint.Name, Data: outer}, nil
+	default:
+		return openflow.Disposition{Verdict: openflow.VerdictOutput, Data: data, Port: 1}, nil
+	}
+}
+
+// ReadyAt reports when the deployment's slowest middlebox finishes
+// booting (zero for non-deployed modes).
+func (s *Session) ReadyAt() time.Duration {
+	if s.Mode != ModeInNetwork {
+		return 0
+	}
+	dep := s.Network.Server.Deployment(s.Device.ID)
+	if dep == nil {
+		return 0
+	}
+	return dep.ReadyAt
+}
+
+// Alerts returns the security/privacy findings the session's middleboxes
+// raised.
+func (s *Session) Alerts() []middlebox.Alert {
+	if s.Mode != ModeInNetwork {
+		return nil
+	}
+	return s.Network.Server.Runtime.Alerts(s.Device.Config.Owner)
+}
+
+// Audit challenges the network for an attestation of the deployed
+// configuration and verifies it against the device's vendor trust store
+// and the hash the device believes it deployed. A nil error means the
+// attestation checks out; the active-measurement checks in package
+// auditor cover what attestation cannot.
+func (s *Session) Audit(nowSeconds int64) error {
+	if s.Mode != ModeInNetwork {
+		return ErrNotDeployed
+	}
+	if s.Network.Attester == nil {
+		return fmt.Errorf("%w: provider offers no attestation", auditor.ErrUntrustedSigner)
+	}
+	s.Device.nonce++
+	nonce := s.Device.nonce
+
+	manifest := s.Network.Server.BuildManifest(s.Device.ID)
+	attestedHash := ""
+	if manifest != nil {
+		attestedHash = manifest.PVNCHash
+	}
+	if s.Network.AttestationLies {
+		// The dishonest provider claims whatever the device wants to
+		// hear.
+		attestedHash = s.Decision.FinalConfig.Hash()
+	}
+	att, err := s.Network.Attester.Attest(auditor.Statement{
+		Provider: s.Network.Name,
+		DeviceID: s.Device.ID,
+		PVNCHash: attestedHash,
+		IssuedAt: nowSeconds,
+		Nonce:    nonce,
+	})
+	if err != nil {
+		return err
+	}
+	return auditor.VerifyAttestation(att, s.Device.Vendors, s.Decision.FinalConfig.Hash(), nonce, nowSeconds)
+}
+
+// Roam moves the device to a new set of access networks — the paper's
+// headline user experience ("the illusion that they are in the same,
+// fully controlled and customized network environment regardless of
+// which access network they connect to"). The old deployment is torn
+// down (its invoice returned) and the same configuration is negotiated
+// onto the best new network; the new session may run in a different
+// mode if the new environment offers less.
+func Roam(s *Session, networks []*AccessNetwork) (*Session, *billing.Invoice, error) {
+	inv, err := s.Teardown()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: roam teardown: %w", err)
+	}
+	next, err := Connect(s.Device, networks)
+	return next, inv, err
+}
+
+// Teardown removes the in-network deployment and returns the final
+// invoice under the network's tariff (nil in non-deployed modes).
+func (s *Session) Teardown() (*billing.Invoice, error) {
+	if s.Mode != ModeInNetwork {
+		s.Mode = ModeBare
+		return nil, nil
+	}
+	_, bytes, err := s.Network.Server.Teardown(s.Device.ID)
+	if err != nil {
+		return nil, err
+	}
+	var types []string
+	for _, m := range s.Decision.FinalConfig.Middleboxes {
+		types = append(types, m.Type)
+	}
+	inv := billing.GenerateInvoice(s.Network.Name, s.Network.Tariff, billing.Usage{
+		User:        s.Device.Config.Owner,
+		ModuleTypes: types,
+		Bytes:       bytes,
+	})
+	s.Mode = ModeBare
+	s.logf("teardown: %d bytes carried, invoice %d micro", bytes, inv.TotalMicro)
+	return inv, nil
+}

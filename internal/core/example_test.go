@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"pvn/internal/core"
+	"pvn/internal/discovery"
+	"pvn/internal/packet"
+	"pvn/internal/pki"
+	"pvn/internal/pvnc"
+)
+
+// ExampleConnect runs the whole PVN lifecycle against one access
+// network: discovery, negotiation, deployment, then teardown.
+func ExampleConnect() {
+	vendorKey, _ := pki.GenerateKey(pki.NewDeterministicRand(1))
+	vendor := pki.NewRootCA("Vendor", vendorKey, 0, 1<<40)
+	var now time.Duration
+	network, err := core.NewStandardNetwork(core.NetworkConfig{
+		Name: "example-isp",
+		Provider: &discovery.ProviderPolicy{
+			Provider: "example-isp", DeployServer: "edge",
+			Standards: []string{discovery.StandardMatchAction, discovery.StandardMiddlebox},
+			Supported: map[string]int64{"pii-detect": 100},
+		},
+		Now:    func() time.Duration { return now },
+		Vendor: vendor, VendorSeed: 2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	cfg, _ := pvnc.Parse(`
+pvnc example
+owner alice
+device 10.0.0.5
+middlebox pii pii-detect mode=block
+chain secure pii
+policy 100 match proto=tcp dport=80 via=secure action=forward
+policy 0 match any action=forward
+`)
+	device := &core.Device{
+		ID: "phone", Addr: packet.MustParseIPv4("10.0.0.5"), Config: cfg,
+		BudgetMicro: 500, Strategy: discovery.StrategyReduce,
+		Vendors: pki.NewTrustStore(vendor.Cert),
+	}
+	session, err := core.Connect(device, []*core.AccessNetwork{network})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("mode:", session.Mode)
+	fmt.Println("cost:", session.Decision.Cost)
+
+	if _, err := session.Teardown(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("after teardown:", session.Mode)
+	// Output:
+	// mode: in-network
+	// cost: 100
+	// after teardown: bare
+}

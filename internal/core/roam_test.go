@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pvn/internal/discovery"
+
+	"pvn/internal/openflow"
+	"pvn/internal/packet"
+	"pvn/internal/trace"
+	"pvn/internal/tunnel"
+)
+
+// TestRoamBetweenNetworks: the same PVNC follows the device from a
+// full-support network to a partial one to a PVN-free one, degrading
+// gracefully: in-network -> reduced in-network -> tunneled.
+func TestRoamBetweenNetworks(t *testing.T) {
+	w := newWorld(t, fullProvider())
+
+	partialPolicy := fullProvider()
+	partialPolicy.Provider = "isp-partial"
+	delete(partialPolicy.Supported, "tracker-block")
+	partial, err := NewStandardNetwork(NetworkConfig{
+		Name: "isp-partial", Provider: partialPolicy,
+		Now: func() time.Duration { return w.now }, Vendor: w.vendor, VendorSeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPVN, err := NewStandardNetwork(NetworkConfig{Name: "isp-none",
+		Now: func() time.Duration { return w.now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.dev.Tunnels.Add(&tunnel.Endpoint{
+		Name: "home", Addr: packet.MustParseIPv4("203.0.113.80"),
+		ExtraRTT: 100 * time.Millisecond, Trusted: true,
+	})
+
+	// Home network: full support.
+	s1, err := Connect(w.dev, []*AccessNetwork{w.network})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Mode != ModeInNetwork || len(s1.Decision.FinalConfig.Middleboxes) != 2 {
+		t.Fatalf("session 1: %+v", s1)
+	}
+	w.now = s1.ReadyAt() + time.Millisecond
+	leak, _ := trace.HTTPRequestPacket(w.dev.Addr, packet.MustParseIPv4("1.2.3.4"), 40000, "h", "/", "password=hunter2")
+	if d, _ := s1.Process(leak, 0); d.Verdict != openflow.VerdictDrop {
+		t.Fatal("session 1 not protecting")
+	}
+
+	// Roam to the partial network: protections degrade to the subset
+	// but the PII blocker stays.
+	s2, inv1, err := Roam(s1, []*AccessNetwork{partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv1 == nil || inv1.TotalMicro <= 0 {
+		t.Fatalf("no invoice from first network: %+v", inv1)
+	}
+	if s2.Mode != ModeInNetwork || s2.Network.Name != "isp-partial" {
+		t.Fatalf("session 2: mode=%v network=%s", s2.Mode, s2.Network.Name)
+	}
+	if len(s2.Decision.FinalConfig.Middleboxes) != 1 {
+		t.Fatalf("session 2 kept %d middleboxes, want 1", len(s2.Decision.FinalConfig.Middleboxes))
+	}
+	// The old network is fully cleaned up.
+	if w.network.Server.Switch.Table.Len() != 0 {
+		t.Fatal("rules left behind on the first network")
+	}
+	w.now = s2.ReadyAt() + time.Millisecond
+	if d, _ := s2.Process(leak, 0); d.Verdict != openflow.VerdictDrop {
+		t.Fatal("session 2 lost PII protection")
+	}
+
+	// Roam to the PVN-free network: fall back to tunneling home.
+	s3, _, err := Roam(s2, []*AccessNetwork{noPVN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Mode != ModeTunneled || s3.TunnelEndpoint.Name != "home" {
+		t.Fatalf("session 3: %+v", s3)
+	}
+	if partial.Server.Switch.Table.Len() != 0 {
+		t.Fatal("rules left behind on the partial network")
+	}
+}
+
+// TestRoamPreservesDeviceState: negotiation sequence numbers keep
+// increasing across roams (each discovery attempt is distinguishable).
+func TestRoamKeepsWorking(t *testing.T) {
+	w := newWorld(t, fullProvider())
+	s, err := Connect(w.dev, []*AccessNetwork{w.network})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roam back onto the same network (e.g. wifi flap).
+	s2, _, err := Roam(s, []*AccessNetwork{w.network})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Mode != ModeInNetwork {
+		t.Fatalf("reconnect mode %v", s2.Mode)
+	}
+	if _, err := s2.Teardown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoRenegotiate: a strict device on a partial network counters
+// with the supported subset instead of falling back to tunneling.
+func TestAutoRenegotiate(t *testing.T) {
+	p := fullProvider()
+	delete(p.Supported, "tracker-block") // partial support
+	w := newWorld(t, p)
+	w.dev.Strategy = discovery.StrategyStrict
+
+	// Without auto-renegotiation: strict fails, no tunnel -> bare.
+	s, err := Connect(w.dev, []*AccessNetwork{w.network})
+	if err == nil || s.Mode != ModeBare {
+		t.Fatalf("strict without renegotiation: mode=%v err=%v", s.Mode, err)
+	}
+
+	// With it: one counter round deploys the subset.
+	w.dev.AutoRenegotiate = true
+	s, err = Connect(w.dev, []*AccessNetwork{w.network})
+	if err != nil {
+		t.Fatalf("connect: %v (%v)", err, s.Messages)
+	}
+	if s.Mode != ModeInNetwork {
+		t.Fatalf("mode %v", s.Mode)
+	}
+	if len(s.Decision.FinalConfig.Middleboxes) != 1 {
+		t.Fatalf("deployed %d middleboxes, want the supported 1", len(s.Decision.FinalConfig.Middleboxes))
+	}
+	found := false
+	for _, m := range s.Messages {
+		if strings.Contains(m, "counter-DM") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no counter-DM narration: %v", s.Messages)
+	}
+}

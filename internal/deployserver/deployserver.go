@@ -1,0 +1,284 @@
+// Package deployserver implements the access-network side of PVN
+// deployment (§3.1): it receives deployment requests, re-validates and
+// compiles the PVNC, instantiates the requested middleboxes in the
+// runtime, builds isolation-scoped chains, installs meters and flow
+// rules into the edge switch, and acknowledges with a deployment cookie
+// and a DHCP-refresh signal. Failures produce NACKs with a reason, and
+// teardown removes every trace of a deployment atomically.
+package deployserver
+
+import (
+	"fmt"
+	"time"
+
+	"pvn/internal/discovery"
+	"pvn/internal/middlebox"
+	"pvn/internal/openflow"
+	"pvn/internal/pvnc"
+)
+
+// Deployment records one installed PVN.
+type Deployment struct {
+	DeviceID string
+	Owner    string
+	Cookie   uint64
+	// Hash is the PVNC hash actually installed (after any reduction).
+	Hash string
+	// PaidMicro is what the device committed.
+	PaidMicro int64
+	// InstanceIDs are the middlebox instances created.
+	InstanceIDs []string
+	// Chains are the runtime chain names ("owner/name").
+	Chains []string
+	// InstalledAt/ReadyAt bound the setup window; ReadyAt is when the
+	// slowest middlebox finishes booting.
+	InstalledAt, ReadyAt time.Duration
+	// Meters installed for this deployment.
+	Meters []string
+}
+
+// Server hosts PVN deployments for one access network.
+type Server struct {
+	// Provider is the pricing/support policy quoted during discovery.
+	Provider *discovery.ProviderPolicy
+	// Switch is the edge switch PVN rules install into.
+	Switch *openflow.Switch
+	// Runtime hosts the middlebox instances.
+	Runtime *middlebox.Runtime
+	// Now supplies simulated time.
+	Now func() time.Duration
+	// FetchPVNC resolves a PVNC URI to its source text (deploy requests
+	// may carry a cloud-storage URI instead of inline source, §3.1).
+	// Nil means URI-based requests are refused.
+	FetchPVNC func(uri string) (string, error)
+	// DevicePort/UpstreamPort are the compile targets.
+	DevicePort, UpstreamPort uint16
+
+	nextCookie  uint64
+	deployments map[string]*Deployment // by device ID
+}
+
+// New builds a deployment server wired to a switch and runtime.
+func New(provider *discovery.ProviderPolicy, sw *openflow.Switch, rt *middlebox.Runtime, now func() time.Duration) *Server {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Server{
+		Provider:     provider,
+		Switch:       sw,
+		Runtime:      rt,
+		Now:          now,
+		UpstreamPort: 1,
+		deployments:  make(map[string]*Deployment),
+	}
+}
+
+// HandleDM answers discovery on behalf of the provider policy.
+func (s *Server) HandleDM(dm *discovery.DM) *discovery.Offer {
+	return s.Provider.HandleDM(dm, s.Now())
+}
+
+// Deployment returns the active deployment for a device, or nil.
+func (s *Server) Deployment(deviceID string) *Deployment {
+	return s.deployments[deviceID]
+}
+
+// HandleDeploy installs a PVNC. Every failure path is a NACK; the
+// installation itself is all-or-nothing (partial installs are rolled
+// back).
+func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployResponse {
+	nack := func(format string, args ...interface{}) *discovery.DeployResponse {
+		return &discovery.DeployResponse{OK: false, Reason: fmt.Sprintf(format, args...)}
+	}
+	if _, exists := s.deployments[req.DeviceID]; exists {
+		return nack("device %s already has a deployment; tear it down first", req.DeviceID)
+	}
+	source := req.PVNCSource
+	if source == "" && req.PVNCURI != "" {
+		if s.FetchPVNC == nil {
+			return nack("URI-based PVNCs not supported here")
+		}
+		fetched, err := s.FetchPVNC(req.PVNCURI)
+		if err != nil {
+			return nack("fetch %s: %v", req.PVNCURI, err)
+		}
+		source = fetched
+	}
+	cfg, err := pvnc.Parse(source)
+	if err != nil {
+		return nack("unparseable PVNC: %v", err)
+	}
+	if req.PVNCHash != "" && cfg.Hash() != req.PVNCHash {
+		// The fetched object does not match what the device asked for:
+		// either the store or the path tampered with it.
+		return nack("PVNC hash mismatch: got %.16s..., requested %.16s...", cfg.Hash(), req.PVNCHash)
+	}
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nack("invalid PVNC: %v", errs[0])
+	}
+	// Price check: the device must cover the provider's price for every
+	// module it deploys.
+	var owed int64
+	for _, m := range cfg.Middleboxes {
+		price, ok := s.Provider.Supported[m.Type]
+		if !ok {
+			return nack("middlebox type %q not supported here", m.Type)
+		}
+		owed += price
+	}
+	if req.Payment < owed {
+		return nack("payment %d below price %d", req.Payment, owed)
+	}
+
+	s.nextCookie++
+	cookie := s.nextCookie
+	// Namespace chains per deployment so the same owner can deploy the
+	// same PVNC from several devices without collisions (§3.1).
+	namespace := cfg.Owner + "." + req.DeviceID
+	compiled, err := pvnc.Compile(cfg, pvnc.CompileOptions{
+		Cookie:         cookie,
+		DevicePort:     s.DevicePort,
+		UpstreamPort:   s.UpstreamPort,
+		ChainNamespace: namespace,
+	})
+	if err != nil {
+		return nack("compile: %v", err)
+	}
+
+	dep := &Deployment{
+		DeviceID:    req.DeviceID,
+		Owner:       cfg.Owner,
+		Cookie:      cookie,
+		Hash:        compiled.Hash,
+		PaidMicro:   req.Payment,
+		InstalledAt: s.Now(),
+	}
+
+	// Instantiate middleboxes; on any failure, roll back what exists.
+	names := map[string]string{} // local name -> instance ID
+	rollback := func() {
+		for _, id := range dep.InstanceIDs {
+			s.Runtime.Terminate(id)
+		}
+		for _, ch := range dep.Chains {
+			owner, name, _ := cutChain(ch)
+			s.Runtime.RemoveChain(owner, name)
+		}
+		s.Switch.Table.RemoveByCookie(cookie)
+	}
+	for _, plan := range compiled.Middleboxes {
+		inst, err := s.Runtime.Instantiate(cfg.Owner, plan.Type, plan.Config)
+		if err != nil {
+			rollback()
+			return nack("instantiate %s: %v", plan.LocalName, err)
+		}
+		names[plan.LocalName] = inst.ID
+		dep.InstanceIDs = append(dep.InstanceIDs, inst.ID)
+		if inst.ReadyAt > dep.ReadyAt {
+			dep.ReadyAt = inst.ReadyAt
+		}
+	}
+	for _, ch := range compiled.Chains {
+		ids := make([]string, len(ch.Members))
+		for i, m := range ch.Members {
+			ids[i] = names[m]
+		}
+		if _, err := s.Runtime.BuildChainIn(cfg.Owner, namespace, ch.Name, ids, cfg.CoveredAddrs()); err != nil {
+			rollback()
+			return nack("chain %s: %v", ch.Name, err)
+		}
+		dep.Chains = append(dep.Chains, namespace+"/"+ch.Name)
+	}
+	for _, m := range compiled.Meters {
+		s.Switch.AddMeter(m.ID, &openflow.Meter{RateBps: m.RateBps})
+		dep.Meters = append(dep.Meters, m.ID)
+	}
+	now := s.Now()
+	for i := range compiled.FlowMods {
+		compiled.FlowMods[i].Apply(s.Switch.Table, now)
+	}
+
+	s.deployments[req.DeviceID] = dep
+	return &discovery.DeployResponse{OK: true, Cookie: cookie, DHCPRefresh: true}
+}
+
+func cutChain(s string) (owner, name string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// Usage reports traffic counters for a device's deployment.
+func (s *Server) Usage(deviceID string) (packets, bytes int64, ok bool) {
+	dep := s.deployments[deviceID]
+	if dep == nil {
+		return 0, 0, false
+	}
+	p, b := s.Switch.Table.StatsByCookie(dep.Cookie)
+	return p, b, true
+}
+
+// Teardown removes a deployment: flow rules, chains, instances. It
+// returns the final usage counters for billing.
+func (s *Server) Teardown(deviceID string) (packets, bytes int64, err error) {
+	dep := s.deployments[deviceID]
+	if dep == nil {
+		return 0, 0, fmt.Errorf("deployserver: no deployment for %q", deviceID)
+	}
+	packets, bytes = s.Switch.Table.StatsByCookie(dep.Cookie)
+	s.Switch.Table.RemoveByCookie(dep.Cookie)
+	for _, ch := range dep.Chains {
+		owner, name, _ := cutChain(ch)
+		s.Runtime.RemoveChain(owner, name)
+	}
+	for _, id := range dep.InstanceIDs {
+		s.Runtime.Terminate(id)
+	}
+	delete(s.deployments, deviceID)
+	return packets, bytes, nil
+}
+
+// Manifest describes what is actually installed for a device — the input
+// to attestation (§3.1 "Auditor"). An honest server reports reality; a
+// dishonest one can lie, which is exactly what the auditor's checks are
+// for.
+type Manifest struct {
+	DeviceID string   `json:"device_id"`
+	Owner    string   `json:"owner"`
+	PVNCHash string   `json:"pvnc_hash"`
+	Chains   []string `json:"chains"`
+	// InstanceTypes lists the middlebox types actually running.
+	InstanceTypes []string `json:"instance_types"`
+	Cookie        uint64   `json:"cookie"`
+	RuleCount     int      `json:"rule_count"`
+}
+
+// BuildManifest reports the installed state for a device, or nil when no
+// deployment exists.
+func (s *Server) BuildManifest(deviceID string) *Manifest {
+	dep := s.deployments[deviceID]
+	if dep == nil {
+		return nil
+	}
+	m := &Manifest{
+		DeviceID: deviceID,
+		Owner:    dep.Owner,
+		PVNCHash: dep.Hash,
+		Chains:   append([]string(nil), dep.Chains...),
+		Cookie:   dep.Cookie,
+	}
+	for _, id := range dep.InstanceIDs {
+		if inst := s.Runtime.Instance(id); inst != nil {
+			m.InstanceTypes = append(m.InstanceTypes, inst.Spec.Type)
+		}
+	}
+	for _, e := range s.Switch.Table.Entries() {
+		if e.Cookie == dep.Cookie {
+			m.RuleCount++
+		}
+	}
+	return m
+}

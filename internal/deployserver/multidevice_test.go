@@ -1,0 +1,230 @@
+package deployserver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pvn/internal/discovery"
+	"pvn/internal/openflow"
+	"pvn/internal/packet"
+	"pvn/internal/pvnc"
+)
+
+// TestSameOwnerMultipleDevices reproduces §3.1's "a user can specify the
+// same PVNC for multiple devices": two of alice's devices deploy the
+// same configuration on one network; their chains live in separate
+// namespaces and tear down independently.
+func TestSameOwnerMultipleDevices(t *testing.T) {
+	now := time.Duration(0)
+	s := testServer(t, &now)
+
+	cfg, _ := pvnc.Parse(cfgSrc)
+	r1 := &discovery.DeployRequest{DeviceID: "phone", PVNCSource: cfg.Source(), Payment: 300}
+	r2 := &discovery.DeployRequest{DeviceID: "laptop", PVNCSource: cfg.Source(), Payment: 300}
+
+	if resp := s.HandleDeploy(r1); !resp.OK {
+		t.Fatalf("phone deploy: %s", resp.Reason)
+	}
+	if resp := s.HandleDeploy(r2); !resp.OK {
+		t.Fatalf("laptop deploy: %s", resp.Reason)
+	}
+	d1, d2 := s.Deployment("phone"), s.Deployment("laptop")
+	if d1.Cookie == d2.Cookie {
+		t.Fatal("deployments share a cookie")
+	}
+	if d1.Chains[0] == d2.Chains[0] {
+		t.Fatalf("deployments share chain namespace: %v", d1.Chains)
+	}
+	if !strings.HasPrefix(d1.Chains[0], "alice.phone/") {
+		t.Fatalf("chain name %q lacks device namespace", d1.Chains[0])
+	}
+	// Both data planes work (both devices share 10.0.0.5 in this config,
+	// which is fine: the rules are identical but cookie-separated).
+	if s.Switch.Table.Len() != 8 { // 4 rules each
+		t.Fatalf("table has %d rules, want 8", s.Switch.Table.Len())
+	}
+
+	// Tearing down the phone leaves the laptop's PVN intact.
+	if _, _, err := s.Teardown("phone"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Switch.Table.Len() != 4 {
+		t.Fatalf("table has %d rules after partial teardown, want 4", s.Switch.Table.Len())
+	}
+	if len(s.Runtime.InstancesOf("alice")) != 2 {
+		t.Fatalf("alice has %d instances, want laptop's 2", len(s.Runtime.InstancesOf("alice")))
+	}
+	now = 50 * time.Millisecond
+	// Laptop's chain still executes.
+	if s.Runtime.Chain("alice.laptop", "secure") == nil {
+		t.Fatal("laptop chain gone")
+	}
+	if s.Runtime.Chain("alice.phone", "secure") != nil {
+		t.Fatal("phone chain survived teardown")
+	}
+}
+
+const sensorCfgSrc = `
+pvnc home-away
+owner alice
+device 10.0.0.5
+sensor 10.0.0.20
+sensor 10.0.0.21
+middlebox pii pii-detect mode=block secrets=hunter2
+chain guard pii
+policy 100 match proto=tcp dport=80 via=guard action=forward
+policy 0 match any action=forward
+`
+
+// TestSensorTrafficCovered reproduces §2.3: policies apply to the user's
+// IoT sensors too — the PVN interposes on the camera's uploads, not just
+// the phone's.
+func TestSensorTrafficCovered(t *testing.T) {
+	now := time.Duration(0)
+	s := testServer(t, &now)
+	cfg, err := pvnc.Parse(sensorCfgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := cfg.Validate(); len(errs) != 0 {
+		t.Fatalf("validate: %v", errs)
+	}
+	resp := s.HandleDeploy(&discovery.DeployRequest{DeviceID: "dev1", PVNCSource: cfg.Source(), Payment: 300})
+	if !resp.OK {
+		t.Fatalf("deploy: %s", resp.Reason)
+	}
+	// 2 policies * 2 directions * 3 covered addrs.
+	if s.Switch.Table.Len() != 12 {
+		t.Fatalf("table has %d rules, want 12", s.Switch.Table.Len())
+	}
+	now = 50 * time.Millisecond
+
+	mk := func(src string, body string) []byte {
+		ip := &packet.IPv4{Src: packet.MustParseIPv4(src), Dst: packet.MustParseIPv4("93.184.216.34"), Protocol: packet.IPProtoTCP}
+		tcp := &packet.TCP{SrcPort: 41000, DstPort: 80}
+		tcp.SetNetworkLayerForChecksum(ip)
+		h := &packet.HTTP{IsRequest: true, Method: "POST", Path: "/up", Body: []byte(body)}
+		h.SetHeader("Host", "sink.example")
+		msg, _ := packet.SerializeToBytes(h)
+		data, _ := packet.SerializeToBytes(ip, tcp, packet.Payload(msg))
+		return data
+	}
+
+	// The camera (sensor) leaking the user's secret is blocked.
+	d := s.Switch.Process(mk("10.0.0.20", "password=hunter2"), 0)
+	if d.Verdict != openflow.VerdictDrop {
+		t.Fatalf("sensor leak verdict %v, want drop", d.Verdict)
+	}
+	// Clean sensor traffic flows.
+	d = s.Switch.Process(mk("10.0.0.21", "temp=21"), 0)
+	if d.Verdict != openflow.VerdictOutput {
+		t.Fatalf("clean sensor verdict %v", d.Verdict)
+	}
+	// A neighbor's device with a different address misses the PVN rules
+	// entirely (table-miss -> controller punt, not alice's chain).
+	d = s.Switch.Process(mk("10.0.0.99", "password=hunter2"), 0)
+	if d.Verdict != openflow.VerdictController {
+		t.Fatalf("foreign traffic verdict %v, want controller (table miss)", d.Verdict)
+	}
+}
+
+func TestSensorValidation(t *testing.T) {
+	dup := `
+pvnc x
+owner a
+device 1.2.3.4
+sensor 1.2.3.4
+policy 0 match any action=forward
+`
+	cfg, err := pvnc.Parse(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := cfg.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "duplicate sensor") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("device-as-sensor not flagged: %v", errs)
+	}
+	if _, err := pvnc.Parse("sensor notanip"); err == nil {
+		t.Fatal("bad sensor address parsed")
+	}
+}
+
+func TestSensorFormatRoundTrip(t *testing.T) {
+	cfg, err := pvnc.Parse(sensorCfgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := pvnc.Parse(cfg.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Sensors) != 2 || re.Sensors[0] != packet.MustParseIPv4("10.0.0.20") {
+		t.Fatalf("sensors lost in round trip: %v", re.Sensors)
+	}
+	if re.Estimate().NumFlowRules != 12 {
+		t.Fatalf("estimate %d rules, want 12", re.Estimate().NumFlowRules)
+	}
+}
+
+// TestDeployByURI: the device hands the network a URI plus the binding
+// hash; the network fetches the object and the hash check catches
+// substitution (a tampered store or on-path rewrite).
+func TestDeployByURI(t *testing.T) {
+	now := time.Duration(0)
+	s := testServer(t, &now)
+	cfg, _ := pvnc.Parse(cfgSrc)
+	store := map[string]string{"pvnc://cloud/alice/roaming": cfg.Source()}
+	s.FetchPVNC = func(uri string) (string, error) {
+		src, ok := store[uri]
+		if !ok {
+			return "", fmt.Errorf("object not found")
+		}
+		return src, nil
+	}
+
+	// Happy path.
+	resp := s.HandleDeploy(&discovery.DeployRequest{
+		DeviceID: "dev1", PVNCURI: "pvnc://cloud/alice/roaming",
+		PVNCHash: cfg.Hash(), Payment: 300,
+	})
+	if !resp.OK {
+		t.Fatalf("URI deploy NACK: %s", resp.Reason)
+	}
+	s.Teardown("dev1")
+
+	// Unknown object.
+	resp = s.HandleDeploy(&discovery.DeployRequest{
+		DeviceID: "dev2", PVNCURI: "pvnc://cloud/ghost", PVNCHash: cfg.Hash(), Payment: 300,
+	})
+	if resp.OK || !strings.Contains(resp.Reason, "fetch") {
+		t.Fatalf("ghost URI: %+v", resp)
+	}
+
+	// The store substitutes a different config: hash check catches it.
+	evil, _ := pvnc.Parse("pvnc evil\nowner alice\ndevice 10.0.0.5\npolicy 0 match any action=forward")
+	store["pvnc://cloud/alice/roaming"] = evil.Source()
+	resp = s.HandleDeploy(&discovery.DeployRequest{
+		DeviceID: "dev3", PVNCURI: "pvnc://cloud/alice/roaming",
+		PVNCHash: cfg.Hash(), Payment: 300,
+	})
+	if resp.OK || !strings.Contains(resp.Reason, "hash mismatch") {
+		t.Fatalf("substituted object deployed: %+v", resp)
+	}
+
+	// Servers without a fetcher refuse URI requests.
+	s.FetchPVNC = nil
+	resp = s.HandleDeploy(&discovery.DeployRequest{
+		DeviceID: "dev4", PVNCURI: "pvnc://cloud/x", Payment: 300,
+	})
+	if resp.OK || !strings.Contains(resp.Reason, "not supported") {
+		t.Fatalf("fetcherless server accepted URI: %+v", resp)
+	}
+}

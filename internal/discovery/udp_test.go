@@ -1,0 +1,90 @@
+package discovery
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// udpProvider starts a provider answering discovery on a loopback UDP
+// socket and returns its address.
+func udpProvider(t *testing.T, policy *ProviderPolicy) net.Addr {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go ServeUDP(conn, policy, func() time.Duration { return 0 })
+	return conn.LocalAddr()
+}
+
+func TestDiscoverUDPFloodsAndCollects(t *testing.T) {
+	full := udpProvider(t, fullProvider())
+	cheapPolicy := fullProvider()
+	cheapPolicy.Provider = "isp-cheap"
+	cheapPolicy.Supported = map[string]int64{"tls-verify": 1, "pii-detect": 1, "transcoder": 1}
+	cheap := udpProvider(t, cheapPolicy)
+	// A disabled network: bound but never answers.
+	silentPolicy := fullProvider()
+	silentPolicy.Disabled = true
+	silent := udpProvider(t, silentPolicy)
+
+	dev, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	n := NewNegotiator("dev1", testConfig(t), 10_000, StrategyStrict)
+	offers, err := DiscoverUDP(dev, n.MakeDM(), []net.Addr{full, cheap, silent}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 2 {
+		t.Fatalf("offers %d, want 2 (silent provider must not answer)", len(offers))
+	}
+	best, dec, ok := n.BestOffer(offers, 0)
+	if !ok || best.Provider != "isp-cheap" || dec.Cost != 3 {
+		t.Fatalf("best %+v dec %+v", best, dec)
+	}
+}
+
+func TestServeUDPIgnoresGarbage(t *testing.T) {
+	addr := udpProvider(t, fullProvider())
+	dev, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	// Garbage datagrams are silently dropped; a real DM after them still
+	// gets an offer.
+	dev.WriteTo([]byte("not json at all"), addr)
+	dev.WriteTo([]byte(`{"seq":1}`), addr) // missing device id
+	n := NewNegotiator("dev1", testConfig(t), 10_000, StrategyStrict)
+	offers, err := DiscoverUDP(dev, n.MakeDM(), []net.Addr{addr}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 {
+		t.Fatalf("offers %d", len(offers))
+	}
+}
+
+func TestDiscoverUDPEmptyZone(t *testing.T) {
+	dev, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	n := NewNegotiator("dev1", testConfig(t), 10_000, StrategyStrict)
+	start := time.Now()
+	offers, err := DiscoverUDP(dev, n.MakeDM(), nil, 100*time.Millisecond)
+	if err != nil || len(offers) != 0 {
+		t.Fatalf("offers %v err %v", offers, err)
+	}
+	if time.Since(start) < 90*time.Millisecond {
+		t.Fatal("wait window not honored")
+	}
+}

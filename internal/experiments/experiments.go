@@ -1,0 +1,93 @@
+// Package experiments implements the paper-claim reproduction harness.
+// "A Case for Personal Virtual Networks" is a position paper with no
+// tables or result figures, so each experiment here reproduces one of
+// its *quantitative claims or comparisons* (section citations in each
+// file); EXPERIMENTS.md records claim vs. measured for all of them.
+//
+// Every experiment is a pure function of its parameters and a seed, so
+// results are reproducible, and each returns a Result whose rows print
+// the same way from cmd/pvnbench and from the root bench harness.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one experiment's output table.
+type Result struct {
+	// ID is the experiment identifier, e.g. "E2".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim is the paper claim under test (with section).
+	Claim string
+	// Header names the columns.
+	Header []string
+	// Rows are the data, already formatted.
+	Rows [][]string
+	// Findings summarize whether the claim's shape held.
+	Findings []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Findingf appends a finding.
+func (r *Result) Findingf(format string, args ...interface{}) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "claim: %s\n", r.Claim)
+
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "finding: %s\n", f)
+	}
+	return b.String()
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

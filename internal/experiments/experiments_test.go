@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cell parses a table cell as float, stripping units/percent signs.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.Fields(s)[0], "%")
+	if i := strings.IndexByte(s, '/'); i > 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{ID: "EX", Title: "t", Claim: "c", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.Findingf("found %d", 3)
+	s := r.String()
+	for _, want := range []string{"EX", "claim: c", "a", "bb", "found 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output %q missing %q", s, want)
+		}
+	}
+}
+
+func TestE1ShapesHold(t *testing.T) {
+	p := DefaultE1
+	p.Instances = 16
+	p.PacketsPerChain = 50
+	res := E1(p)
+	if len(res.Rows) < 2+p.MaxChainLength {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Instantiation ~30ms.
+	if got := cell(t, res.Rows[0][2]); got < 25 || got > 35 {
+		t.Fatalf("instantiation mean %v ms, want ~30", got)
+	}
+	// Memory ~6MB.
+	if got := cell(t, res.Rows[1][2]); got < 5 || got > 7 {
+		t.Fatalf("memory %v MB, want ~6", got)
+	}
+	// Chain length 1 delay ~45us and linear growth.
+	d1 := cell(t, res.Rows[2][2])
+	d8 := cell(t, res.Rows[2+p.MaxChainLength-1][2])
+	if d1 < 40 || d1 > 50 {
+		t.Fatalf("chain-1 delay %v us, want ~45", d1)
+	}
+	ratio := d8 / d1
+	if ratio < 7 || ratio > 9 {
+		t.Fatalf("chain-8/chain-1 delay ratio %v, want ~8 (linear)", ratio)
+	}
+}
+
+func TestE2TunnelingShape(t *testing.T) {
+	p := DefaultE2
+	p.Requests = 20
+	p.InterdomainRTTs = []time.Duration{20 * time.Millisecond, 100 * time.Millisecond}
+	res := E2(p)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		direct := cell(t, row[1])
+		inNet := cell(t, row[2])
+		cloud := cell(t, row[3])
+		home := cell(t, row[4])
+		// In-network is within a few ms of direct.
+		if inNet-direct > 5 {
+			t.Fatalf("in-network overhead %v ms over direct", inNet-direct)
+		}
+		// Tunnels are strictly worse, home worst.
+		if cloud <= inNet || home <= cloud {
+			t.Fatalf("ordering violated: direct=%v innet=%v cloud=%v home=%v", direct, inNet, cloud, home)
+		}
+	}
+	// Overhead grows with interdomain RTT.
+	if cell(t, res.Rows[1][3]) <= cell(t, res.Rows[0][3]) {
+		t.Fatal("cloud tunnel cost did not grow with interdomain RTT")
+	}
+}
+
+func TestE3SplitTCPShape(t *testing.T) {
+	p := DefaultE3
+	p.Trials = 8
+	res := E3(p)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Poor cellular: split must win.
+	poorSpeedup := cell(t, res.Rows[3][3])
+	if poorSpeedup <= 1.0 {
+		t.Fatalf("split speedup on poor cellular %v, want > 1", poorSpeedup)
+	}
+	// Overloaded proxy on good wifi: split must lose.
+	overloaded := cell(t, res.Rows[4][3])
+	if overloaded >= 1.0 {
+		t.Fatalf("overloaded proxy speedup %v, want < 1", overloaded)
+	}
+
+	abl := E3Ablation(p)
+	first := cell(t, abl.Rows[0][3])
+	last := cell(t, abl.Rows[len(abl.Rows)-1][3])
+	if last <= first {
+		t.Fatalf("speedup did not grow with loss: %v -> %v", first, last)
+	}
+}
+
+func TestE4VideoShape(t *testing.T) {
+	res := E4(DefaultE4)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	full := cell(t, res.Rows[0][1])
+	shaped := cell(t, res.Rows[1][1])
+	pvn := cell(t, res.Rows[2][1])
+	if full != 3 {
+		t.Fatalf("unshaped rung %v, want 3 (1080p)", full)
+	}
+	if shaped > 1 {
+		t.Fatalf("carrier-shaped rung %v, want <=1 (sub-HD)", shaped)
+	}
+	if !(pvn > shaped && pvn < full) {
+		t.Fatalf("PVN rung %v not between shaped %v and full %v", pvn, shaped, full)
+	}
+	// Carrier zero-rates everything, PVN zero-rates only shaped flows.
+	if cell(t, res.Rows[1][3]) != 0 {
+		t.Fatal("carrier regime billed quota")
+	}
+	if cell(t, res.Rows[2][3]) == 0 {
+		t.Fatal("PVN HD sessions consumed no quota")
+	}
+}
+
+func TestE5TLSShape(t *testing.T) {
+	p := DefaultE5
+	p.ConnectionsPerClass = 20
+	res := E5(p)
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Valid row: 0% blocked.
+	if got := cell(t, res.Rows[0][3]); got != 0 {
+		t.Fatalf("valid chains blocked %v%%", got)
+	}
+	// All bad classes 100% blocked.
+	for _, row := range res.Rows[1:] {
+		if got := cell(t, row[3]); got != 100 {
+			t.Fatalf("%s blocked %v%%, want 100", row[0], got)
+		}
+	}
+}
+
+func TestE6DNSShape(t *testing.T) {
+	p := DefaultE6
+	p.Lookups = 80
+	res := E6(p)
+	// Signed row: zero forged served under PVN.
+	if got := cell(t, res.Rows[0][2]); got != 0 {
+		t.Fatalf("signed zone served %v forged answers under PVN", got)
+	}
+	// quorum=1 with a malicious open resolver can still be fooled more
+	// often than quorum=3.
+	var q1Served, q3Served float64 = -1, -1
+	for _, row := range res.Rows {
+		if strings.Contains(row[0], "quorum=1") {
+			q1Served = cell(t, row[2])
+		}
+		if strings.Contains(row[0], "quorum=3") {
+			q3Served = cell(t, row[2])
+		}
+	}
+	if q1Served < 0 || q3Served < 0 {
+		t.Fatal("quorum rows missing")
+	}
+	if q3Served > q1Served {
+		t.Fatalf("larger quorum served more forged answers (%v vs %v)", q3Served, q1Served)
+	}
+	// Without the PVN every forged answer is served.
+	if got := cell(t, res.Rows[0][1]); got == 0 {
+		t.Fatal("baseline served nothing — forge rate broken")
+	}
+}
+
+func TestE7PIIShape(t *testing.T) {
+	p := DefaultE7
+	p.Requests = 150
+	res := E7(p)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// All three placements catch the same plaintext leaks.
+	caught := cell(t, res.Rows[0][1])
+	if caught == 0 {
+		t.Fatal("nothing caught")
+	}
+	for _, row := range res.Rows[1:] {
+		if cell(t, row[1]) != caught {
+			t.Fatalf("placements disagree: %v vs %v", cell(t, row[1]), caught)
+		}
+	}
+	// Coverage below 100% (TLS-encrypted leaks missed).
+	if got := cell(t, res.Rows[0][4]); got >= 100 {
+		t.Fatalf("coverage %v%%, expected <100 due to encrypted leaks", got)
+	}
+}
+
+func TestE8AuditShape(t *testing.T) {
+	p := DefaultE8
+	p.Trials = 12
+	res := E8(p)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Honest provider: zero violations, reputation 1.
+	if got := cell(t, res.Rows[0][2]); got != 0 {
+		t.Fatalf("honest provider flagged %v times", got)
+	}
+	if got := cell(t, res.Rows[0][5]); got != 1 {
+		t.Fatalf("honest reputation %v", got)
+	}
+	// Every cheater detected in (almost) every audit.
+	for _, row := range res.Rows[1:] {
+		if got := cell(t, row[3]); got < 90 {
+			t.Fatalf("%s recall %v%%, want >=90", row[0], got)
+		}
+	}
+}
+
+func TestE9DiscoveryShape(t *testing.T) {
+	p := DefaultE9
+	p.Devices = 10
+	res := E9(p)
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	find := func(label string) []string {
+		for _, row := range res.Rows {
+			if row[0] == label {
+				return row
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return nil
+	}
+	// Full provider deploys everyone regardless of strategy.
+	if got := cell(t, find("full x strict")[1]); got != float64(p.Devices) {
+		t.Fatalf("full/strict deployed %v", got)
+	}
+	// Partial provider: strict deploys nothing, reduce deploys all with
+	// fewer modules.
+	if got := cell(t, find("partial x strict")[1]); got != 0 {
+		t.Fatalf("partial/strict deployed %v", got)
+	}
+	reduceRow := find("partial x reduce")
+	if got := cell(t, reduceRow[1]); got != float64(p.Devices) {
+		t.Fatalf("partial/reduce deployed %v", got)
+	}
+	if got := cell(t, reduceRow[3]); got >= 3 {
+		t.Fatalf("partial/reduce kept %v modules, want <3", got)
+	}
+	// PVN-free provider deploys nothing anywhere.
+	if got := cell(t, find("none x reduce")[1]); got != 0 {
+		t.Fatalf("none/reduce deployed %v", got)
+	}
+}
+
+func TestE10RedirectShape(t *testing.T) {
+	res := E10(DefaultE10)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	bare := cell(t, res.Rows[0][1])
+	full := cell(t, res.Rows[1][1])
+	selective := cell(t, res.Rows[2][1])
+	if !(bare < selective && selective < full) {
+		t.Fatalf("latency ordering wrong: bare=%v selective=%v full=%v", bare, selective, full)
+	}
+	// Selective protects 100% of sensitive flows.
+	if !strings.HasPrefix(res.Rows[2][4], "100") {
+		t.Fatalf("selective protection %q", res.Rows[2][4])
+	}
+	// No-protection protects nothing.
+	if !strings.HasPrefix(res.Rows[0][4], "0") {
+		t.Fatalf("bare protection %q", res.Rows[0][4])
+	}
+}
+
+// TestExperimentsDeterministic: EXPERIMENTS.md promises bit-identical
+// tables on every run; verify for a representative subset.
+func TestExperimentsDeterministic(t *testing.T) {
+	pairs := []struct {
+		name string
+		run  func() string
+	}{
+		{"E3", func() string { p := DefaultE3; p.Trials = 5; return E3(p).String() }},
+		{"E4", func() string { return E4(DefaultE4).String() }},
+		{"E6", func() string { p := DefaultE6; p.Lookups = 40; return E6(p).String() }},
+		{"E8", func() string { p := DefaultE8; p.Trials = 6; return E8(p).String() }},
+		{"E10", func() string { return E10(DefaultE10).String() }},
+	}
+	for _, c := range pairs {
+		a, b := c.run(), c.run()
+		if a != b {
+			t.Errorf("%s not deterministic:\n%s\nvs\n%s", c.name, a, b)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package mbx
+
+import (
+	"fmt"
+	"io"
+
+	"pvn/internal/middlebox"
+	"pvn/internal/pcapio"
+)
+
+// CaptureTap records the user's own traffic to a pcap stream as it
+// crosses the PVN — the user-deployable analogue of running tcpdump on a
+// network you do not administer, which the paper's control story makes
+// possible and its isolation story makes safe: the tap only ever sees
+// the chains (and therefore the traffic) of the user who deployed it.
+type CaptureTap struct {
+	w *pcapio.Writer
+
+	// Captured counts packets written; Failed counts write errors
+	// (capture failures never block traffic).
+	Captured, Failed int64
+}
+
+// NewCaptureTap builds a tap writing raw-IP pcap to sink.
+func NewCaptureTap(sink io.Writer) (*CaptureTap, error) {
+	w, err := pcapio.NewWriter(sink, pcapio.LinkTypeRaw)
+	if err != nil {
+		return nil, fmt.Errorf("capture-tap: %w", err)
+	}
+	return &CaptureTap{w: w}, nil
+}
+
+// Name implements middlebox.Box.
+func (c *CaptureTap) Name() string { return "pcap-tap" }
+
+// Process implements middlebox.Box. It never modifies or drops traffic.
+func (c *CaptureTap) Process(ctx *middlebox.Context, data []byte) ([]byte, middlebox.Verdict, error) {
+	if err := c.w.WritePacket(ctx.Now, data); err != nil {
+		c.Failed++
+	} else {
+		c.Captured++
+	}
+	return data, middlebox.VerdictPass, nil
+}
+
+// RegisterCaptureTap adds the pcap-tap type to a runtime, writing to the
+// given sink factory (one sink per instance, so two deployments never
+// interleave records in one file).
+func RegisterCaptureTap(rt *middlebox.Runtime, newSink func() (io.Writer, error)) {
+	rt.Register(&middlebox.Spec{
+		Type: "pcap-tap",
+		New: func(cfg map[string]string) (middlebox.Box, error) {
+			if newSink == nil {
+				return nil, fmt.Errorf("pcap-tap: no capture sink configured on this host")
+			}
+			sink, err := newSink()
+			if err != nil {
+				return nil, err
+			}
+			return NewCaptureTap(sink)
+		},
+	})
+}

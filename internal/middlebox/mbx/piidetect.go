@@ -1,0 +1,264 @@
+package mbx
+
+import (
+	"fmt"
+	"strings"
+
+	"pvn/internal/middlebox"
+	"pvn/internal/packet"
+)
+
+// PIIMode selects what PIIDetect does on a finding.
+type PIIMode string
+
+// PII handling modes (§4 "Detecting and Blocking PII": "provide users the
+// option to block or modify them").
+const (
+	PIIAlert  PIIMode = "alert"  // report only
+	PIIBlock  PIIMode = "block"  // drop the packet
+	PIIRedact PIIMode = "redact" // rewrite the value out of the payload
+)
+
+// PIIDetect scans unencrypted application payloads for personally
+// identifiable information: user-specified secrets (passwords, device
+// IDs) and structural patterns (email addresses, phone-like digit runs,
+// GPS coordinates). It reproduces the in-network leg of ReCon [30].
+type PIIDetect struct {
+	Mode PIIMode
+	// Secrets are user-provided exact strings to protect.
+	Secrets []string
+	// DetectPatterns enables the structural detectors.
+	DetectPatterns bool
+
+	// Findings counts detections; Redactions counts rewritten packets.
+	Findings, Redactions, Blocked int64
+}
+
+// NewPIIDetect builds a detector. Empty mode defaults to alert-only.
+func NewPIIDetect(mode PIIMode, secrets []string) *PIIDetect {
+	if mode == "" {
+		mode = PIIAlert
+	}
+	return &PIIDetect{Mode: mode, Secrets: secrets, DetectPatterns: true}
+}
+
+// Name implements middlebox.Box.
+func (d *PIIDetect) Name() string { return "pii-detect" }
+
+// Process implements middlebox.Box.
+func (d *PIIDetect) Process(ctx *middlebox.Context, data []byte) ([]byte, middlebox.Verdict, error) {
+	p := packet.Decode(data, packet.LayerTypeIPv4)
+	if p.TLS() != nil {
+		// Encrypted: out of scope for the in-network detector (the
+		// paper routes these to trusted execution instead, Fig 1c).
+		return data, middlebox.VerdictPass, nil
+	}
+	payload := p.ApplicationPayload()
+	if h := p.HTTP(); h != nil {
+		// Scan the whole HTTP message: PII leaks ride in paths and
+		// headers as often as bodies.
+		payload = append([]byte(h.Method+" "+h.Path+" "), payload...)
+		for _, hd := range h.Headers {
+			payload = append(payload, []byte(" "+hd.Name+": "+hd.Value)...)
+		}
+	}
+	if len(payload) == 0 {
+		return data, middlebox.VerdictPass, nil
+	}
+
+	found := d.scan(string(payload))
+	if len(found) == 0 {
+		return data, middlebox.VerdictPass, nil
+	}
+	d.Findings += int64(len(found))
+	for _, f := range found {
+		ctx.Alert("pii-leak", f)
+	}
+
+	switch d.Mode {
+	case PIIBlock:
+		d.Blocked++
+		return nil, middlebox.VerdictDrop, nil
+	case PIIRedact:
+		out := d.redact(data, found)
+		if out != nil {
+			d.Redactions++
+			return out, middlebox.VerdictPass, nil
+		}
+		// Could not rewrite safely: block rather than leak.
+		d.Blocked++
+		return nil, middlebox.VerdictDrop, nil
+	default:
+		return data, middlebox.VerdictPass, nil
+	}
+}
+
+// scan returns descriptions of each PII hit in s.
+func (d *PIIDetect) scan(s string) []string {
+	var found []string
+	lower := strings.ToLower(s)
+	for _, sec := range d.Secrets {
+		if sec != "" && strings.Contains(lower, strings.ToLower(sec)) {
+			found = append(found, fmt.Sprintf("secret:%s", sec))
+		}
+	}
+	if d.DetectPatterns {
+		if e := findEmail(s); e != "" {
+			found = append(found, "email:"+e)
+		}
+		if ph := findPhone(s); ph != "" {
+			found = append(found, "phone:"+ph)
+		}
+		if g := findGPS(lower); g != "" {
+			found = append(found, "gps:"+g)
+		}
+	}
+	return found
+}
+
+// redact rewrites the HTTP body, replacing each finding's literal value
+// with asterisks, and re-serializes the packet with fresh checksums. It
+// returns nil when the packet is not rewritable HTTP.
+func (d *PIIDetect) redact(data []byte, found []string) []byte {
+	p := packet.Decode(data, packet.LayerTypeIPv4)
+	h := p.HTTP()
+	ip := p.IPv4()
+	t := p.TCP()
+	if h == nil || ip == nil || t == nil {
+		return nil
+	}
+	body := string(h.Body)
+	path := h.Path
+	for _, f := range found {
+		i := strings.IndexByte(f, ':')
+		val := f[i+1:]
+		mask := strings.Repeat("*", len(val))
+		body = replaceFold(body, val, mask)
+		path = replaceFold(path, val, mask)
+	}
+	nh := *h
+	nh.Body = []byte(body)
+	nh.Path = path
+
+	nip := &packet.IPv4{TOS: ip.TOS, ID: ip.ID, TTL: ip.TTL, Protocol: ip.Protocol, Src: ip.Src, Dst: ip.Dst}
+	nt := &packet.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort, Seq: t.Seq, Ack: t.Ack, Flags: t.Flags, Window: t.Window}
+	nt.SetNetworkLayerForChecksum(nip)
+	out, err := packet.SerializeToBytes(nip, nt, &nh)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// replaceFold replaces every case-insensitive occurrence of old in s.
+func replaceFold(s, old, new string) string {
+	if old == "" {
+		return s
+	}
+	var b strings.Builder
+	ls, lo := strings.ToLower(s), strings.ToLower(old)
+	for {
+		i := strings.Index(ls, lo)
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:i])
+		b.WriteString(new)
+		s, ls = s[i+len(old):], ls[i+len(old):]
+	}
+}
+
+// findEmail returns the first email-shaped token, or "".
+func findEmail(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '@' {
+			continue
+		}
+		start := i
+		for start > 0 && isEmailLocal(s[start-1]) {
+			start--
+		}
+		end := i + 1
+		dots := 0
+		for end < len(s) && (isAlnum(s[end]) || s[end] == '.' || s[end] == '-') {
+			if s[end] == '.' {
+				dots++
+			}
+			end++
+		}
+		// Trim a trailing dot (sentence punctuation).
+		for end > i+1 && s[end-1] == '.' {
+			end--
+			dots--
+		}
+		if start < i && dots >= 1 && end > i+3 {
+			return s[start:end]
+		}
+	}
+	return ""
+}
+
+func isEmailLocal(c byte) bool {
+	return isAlnum(c) || c == '.' || c == '_' || c == '-' || c == '+'
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// findPhone returns the first run of 10-11 digits (allowing separators),
+// or "".
+func findPhone(s string) string {
+	i := 0
+	for i < len(s) {
+		if s[i] < '0' || s[i] > '9' {
+			i++
+			continue
+		}
+		digits := 0
+		j := i
+		for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '-' || s[j] == ' ' || s[j] == '.') {
+			if s[j] >= '0' && s[j] <= '9' {
+				digits++
+			} else if digits == 0 {
+				break
+			}
+			j++
+		}
+		// Trim trailing separators.
+		for j > i && (s[j-1] == '-' || s[j-1] == ' ' || s[j-1] == '.') {
+			j--
+		}
+		if digits >= 10 && digits <= 11 {
+			return s[i:j]
+		}
+		if j == i {
+			j++
+		}
+		i = j
+	}
+	return ""
+}
+
+// findGPS detects "lat=...&lon=..."-style coordinate pairs, the common
+// mobile-app location leak shape.
+func findGPS(lower string) string {
+	latIdx := strings.Index(lower, "lat=")
+	lonIdx := strings.Index(lower, "lon=")
+	if lonIdx < 0 {
+		lonIdx = strings.Index(lower, "lng=")
+	}
+	if latIdx >= 0 && lonIdx >= 0 {
+		end := lonIdx + 4
+		for end < len(lower) && (lower[end] >= '0' && lower[end] <= '9' || lower[end] == '.' || lower[end] == '-') {
+			end++
+		}
+		start := latIdx
+		if lonIdx < start {
+			start = lonIdx
+		}
+		return lower[start:end]
+	}
+	return ""
+}

@@ -1,0 +1,130 @@
+package mbx
+
+import (
+	"fmt"
+	"testing"
+
+	"pvn/internal/packet"
+)
+
+func TestExtractLinks(t *testing.T) {
+	html := `<a href="/page1">one</a> <img src="/img/a.png">
+<a href="https://other.example/x">ext</a>
+<a href="#anchor">skip</a> <a href="javascript:void(0)">skip</a>
+<a href="/page1">dup</a> <script src="app.js"></script>`
+	links := ExtractLinks(html)
+	want := []string{"/page1", "https://other.example/x", "/img/a.png", "app.js"}
+	if len(links) != len(want) {
+		t.Fatalf("links %v, want %v", links, want)
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("links %v, want %v", links, want)
+		}
+	}
+}
+
+func TestSplitLink(t *testing.T) {
+	cases := []struct {
+		link, pageHost, host, path string
+	}{
+		{"/a/b", "site.example", "site.example", "/a/b"},
+		{"img.png", "site.example", "site.example", "/img.png"},
+		{"http://cdn.example/x.js", "site.example", "cdn.example", "/x.js"},
+		{"https://cdn.example", "site.example", "cdn.example", "/"},
+	}
+	for _, c := range cases {
+		h, p := splitLink(c.link, c.pageHost)
+		if h != c.host || p != c.path {
+			t.Errorf("splitLink(%q) = %q,%q want %q,%q", c.link, h, p, c.host, c.path)
+		}
+	}
+}
+
+// prefetchWorld builds an engine over a fake origin with 3 resources.
+func prefetchWorld(t *testing.T) (*PrefetchEngine, map[string]int) {
+	t.Helper()
+	fetchCount := map[string]int{}
+	origin := map[string]string{
+		"site.example/style.css": "body{}",
+		"site.example/app.js":    "code",
+		"site.example/big.png":   "PNGBYTES",
+	}
+	fetch := func(host, path string) ([]byte, bool) {
+		key := host + path
+		fetchCount[key]++
+		body, ok := origin[key]
+		return []byte(body), ok
+	}
+	return NewPrefetchEngine(NewPrefetcher(), fetch), fetchCount
+}
+
+func htmlResponse(t *testing.T, host, body string) []byte {
+	t.Helper()
+	h := &packet.HTTP{StatusCode: 200, StatusText: "OK", Body: []byte(body)}
+	h.SetHeader("Content-Type", "text/html")
+	h.SetHeader("X-PVN-Host", host)
+	msg, err := packet.SerializeToBytes(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tcpSegRev(t, 80, msg)
+}
+
+func TestPrefetchEnginePopulatesCache(t *testing.T) {
+	eng, fetchCount := prefetchWorld(t)
+	_, rt := ctx(t, eng)
+	page := `<link href="/style.css"><script src="/app.js"></script>
+<img src="/big.png"> <img src="https://ads.example/pixel.gif"> <a href="/missing.html">x</a>`
+	out, err := runChain(t, rt, htmlResponse(t, "site.example", page))
+	if err != nil || out == nil {
+		t.Fatal("engine dropped the page")
+	}
+	if eng.Prefetched != 3 {
+		t.Fatalf("prefetched %d, want 3", eng.Prefetched)
+	}
+	// Cross-host pixel and 404 are skipped, never cached.
+	if _, ok := eng.Cache.Lookup("ads.example", "/pixel.gif"); ok {
+		t.Fatal("third-party resource prefetched")
+	}
+	if body, ok := eng.Cache.Lookup("site.example", "/style.css"); !ok || string(body) != "body{}" {
+		t.Fatal("style.css not cached")
+	}
+	if fetchCount["site.example/missing.html"] != 1 {
+		t.Fatal("missing resource never attempted")
+	}
+
+	// A second pass over the same page fetches nothing new.
+	runChain(t, rt, htmlResponse(t, "site.example", page))
+	if fetchCount["site.example/style.css"] != 1 {
+		t.Fatalf("re-fetched cached resource %d times", fetchCount["site.example/style.css"])
+	}
+}
+
+func TestPrefetchEngineCap(t *testing.T) {
+	eng, _ := prefetchWorld(t)
+	eng.MaxPerPage = 1
+	_, rt := ctx(t, eng)
+	var b string
+	for i := 0; i < 5; i++ {
+		b += fmt.Sprintf(`<a href="/style.css?v=%d">x</a>`, i)
+	}
+	// All different query strings -> different paths; only 1 fetched.
+	eng.Fetch = func(host, path string) ([]byte, bool) { return []byte("y"), true }
+	runChain(t, rt, htmlResponse(t, "site.example", b))
+	if eng.Prefetched != 1 {
+		t.Fatalf("prefetched %d with cap 1", eng.Prefetched)
+	}
+	if eng.Skipped == 0 {
+		t.Fatal("cap skips not recorded")
+	}
+}
+
+func TestPrefetchEngineIgnoresNonHTML(t *testing.T) {
+	eng, _ := prefetchWorld(t)
+	_, rt := ctx(t, eng)
+	runChain(t, rt, httpResp(t, "application/json", `{"href":"/x"}`))
+	if eng.Prefetched != 0 {
+		t.Fatal("prefetched from JSON")
+	}
+}

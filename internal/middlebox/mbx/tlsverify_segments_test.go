@@ -1,0 +1,156 @@
+package mbx
+
+import (
+	"testing"
+
+	"pvn/internal/packet"
+	"pvn/internal/pki"
+)
+
+// segAt builds a TCP segment of the flow srv:443 -> dev:sport with an
+// explicit sequence number — the raw material for split TLS records.
+func segAt(t *testing.T, sport uint16, seq uint32, payload []byte) []byte {
+	t.Helper()
+	ip := &packet.IPv4{Src: srvIP, Dst: devIP, Protocol: packet.IPProtoTCP}
+	tcp := &packet.TCP{SrcPort: 443, DstPort: sport, Seq: seq}
+	tcp.SetNetworkLayerForChecksum(ip)
+	data, err := packet.SerializeToBytes(ip, tcp, packet.Payload(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// helloAt sends the ClientHello on the SAME connection the certificate
+// will arrive on (dev:sport -> srv:443), as real TLS does.
+func helloAt(t *testing.T, f *tlsFixture, sport uint16, sni string) {
+	t.Helper()
+	rec := packet.BuildClientHello(sni, [32]byte{}, []uint16{1})
+	body, err := packet.SerializeToBytes(&packet.TLS{Records: []packet.TLSRecord{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := &packet.IPv4{Src: devIP, Dst: srvIP, Protocol: packet.IPProtoTCP}
+	tcp := &packet.TCP{SrcPort: sport, DstPort: 443}
+	tcp.SetNetworkLayerForChecksum(ip)
+	data, err := packet.SerializeToBytes(ip, tcp, packet.Payload(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runChain(t, f.rt, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTLSVerifyMultiSegmentCertificate: a valid certificate chain split
+// across three TCP segments — delivered out of order — still verifies,
+// and an invalid one split the same way is still blocked on the segment
+// that completes it.
+func TestTLSVerifyMultiSegmentCertificate(t *testing.T) {
+	run := func(valid bool) (verdicts []bool, blocked int64) {
+		f := newTLSFixture(t)
+		const sport = 45443
+		helloAt(t, f, sport, "www.example.com")
+
+		subject := "www.example.com"
+		if !valid {
+			subject = "someone-else.example"
+		}
+		chain := f.leafFor(t, subject, 0, 1_000_000)
+		rec := packet.BuildCertificateRecord(pki.EncodeChain(chain))
+		wire, err := packet.SerializeToBytes(&packet.TLS{Records: []packet.TLSRecord{rec}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wire) < 60 {
+			t.Fatalf("record too small to split: %d bytes", len(wire))
+		}
+		// Split into three parts and deliver 1st, 3rd, 2nd.
+		a, b, c := wire[:20], wire[20:40], wire[40:]
+		parts := []struct {
+			seq  uint32
+			data []byte
+		}{
+			{0, a},
+			{40, c},
+			{20, b},
+		}
+		for _, part := range parts {
+			out, _, err := f.rt.ExecuteChain("alice/t", segAt(t, sport, part.seq, part.data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			verdicts = append(verdicts, out != nil)
+		}
+		return verdicts, f.box.Blocked
+	}
+
+	// Valid chain: every segment passes.
+	verdicts, blocked := run(true)
+	for i, ok := range verdicts {
+		if !ok {
+			t.Fatalf("valid chain: segment %d blocked", i)
+		}
+	}
+	if blocked != 0 {
+		t.Fatalf("valid chain: blocked=%d", blocked)
+	}
+
+	// Invalid chain: the first two segments pass (record incomplete),
+	// the completing segment is dropped.
+	verdicts, blocked = run(false)
+	if !verdicts[0] || !verdicts[1] {
+		t.Fatal("incomplete record segments should pass")
+	}
+	if verdicts[2] {
+		t.Fatal("completing segment of invalid chain passed")
+	}
+	if blocked == 0 {
+		t.Fatal("blocked counter not incremented")
+	}
+}
+
+// TestTLSVerifyBlockedFlowStaysBlocked: once a flow fails verification,
+// its later segments are dropped without reprocessing.
+func TestTLSVerifyBlockedFlowStaysBlocked(t *testing.T) {
+	f := newTLSFixture(t)
+	const sport = 45444
+	helloAt(t, f, sport, "bank.example")
+	chain := f.leafFor(t, "phish.example", 0, 1_000_000)
+	cert := packet.BuildCertificateRecord(pki.EncodeChain(chain))
+	wire, _ := packet.SerializeToBytes(&packet.TLS{Records: []packet.TLSRecord{cert}})
+
+	if out, _, _ := f.rt.ExecuteChain("alice/t", segAt(t, sport, 0, wire)); out != nil {
+		t.Fatal("bad cert passed")
+	}
+	// Follow-up application data on the same flow is dropped too.
+	appData, _ := packet.SerializeToBytes(&packet.TLS{Records: []packet.TLSRecord{packet.BuildApplicationData([]byte("post-handshake"))}})
+	out, _, err := f.rt.ExecuteChain("alice/t", segAt(t, sport, uint32(len(wire)), appData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Fatal("blocked flow's later segment passed")
+	}
+}
+
+// TestTLSVerifyRetransmissionHarmless: an exact retransmission of the
+// certificate segment does not double-verify or flip the verdict.
+func TestTLSVerifyRetransmissionHarmless(t *testing.T) {
+	f := newTLSFixture(t)
+	const sport = 45445
+	helloAt(t, f, sport, "www.example.com")
+	chain := f.leafFor(t, "www.example.com", 0, 1_000_000)
+	cert := packet.BuildCertificateRecord(pki.EncodeChain(chain))
+	wire, _ := packet.SerializeToBytes(&packet.TLS{Records: []packet.TLSRecord{cert}})
+
+	for i := 0; i < 3; i++ { // original + two retransmissions
+		out, _, err := f.rt.ExecuteChain("alice/t", segAt(t, sport, 0, wire))
+		if err != nil || out == nil {
+			t.Fatalf("retransmission %d blocked", i)
+		}
+	}
+	if f.box.Checked != 1 {
+		t.Fatalf("chain verified %d times, want 1", f.box.Checked)
+	}
+}

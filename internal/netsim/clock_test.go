@@ -1,0 +1,277 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValueReady(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("zero clock Pending() = %d, want 0", c.Pending())
+	}
+}
+
+func TestClockOrdering(t *testing.T) {
+	var c Clock
+	var got []int
+	c.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	c.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	c.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", c.Now())
+	}
+}
+
+func TestClockFIFOAtSameInstant(t *testing.T) {
+	var c Clock
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestClockNestedScheduling(t *testing.T) {
+	var c Clock
+	var fired []string
+	c.Schedule(time.Millisecond, func() {
+		fired = append(fired, "outer")
+		c.Schedule(time.Millisecond, func() {
+			fired = append(fired, "inner")
+		})
+	})
+	c.Run()
+	if len(fired) != 2 || fired[0] != "outer" || fired[1] != "inner" {
+		t.Fatalf("nested scheduling fired %v", fired)
+	}
+	if c.Now() != 2*time.Millisecond {
+		t.Fatalf("Now() = %v, want 2ms", c.Now())
+	}
+}
+
+func TestClockRunUntilLeavesLaterEvents(t *testing.T) {
+	var c Clock
+	ran := 0
+	c.Schedule(time.Millisecond, func() { ran++ })
+	c.Schedule(time.Hour, func() { ran++ })
+	c.RunUntil(time.Second)
+	if ran != 1 {
+		t.Fatalf("ran %d events before deadline, want 1", ran)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", c.Pending())
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s (advanced to deadline)", c.Now())
+	}
+	c.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d events total, want 2", ran)
+	}
+}
+
+func TestClockPastSchedulingClamps(t *testing.T) {
+	var c Clock
+	c.Schedule(10*time.Millisecond, func() {})
+	c.Run()
+	fired := time.Duration(-1)
+	c.At(time.Millisecond, func() { fired = c.Now() }) // in the past
+	c.Run()
+	if fired != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamped to 10ms", fired)
+	}
+}
+
+func TestClockNegativeDelayClamps(t *testing.T) {
+	var c Clock
+	fired := false
+	c.Schedule(-time.Second, func() { fired = true })
+	c.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestClockStep(t *testing.T) {
+	var c Clock
+	n := 0
+	c.Schedule(time.Millisecond, func() { n++ })
+	c.Schedule(2*time.Millisecond, func() { n++ })
+	if !c.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if n != 1 {
+		t.Fatalf("after one Step n = %d, want 1", n)
+	}
+	if !c.Step() || c.Step() {
+		t.Fatal("Step sequence wrong")
+	}
+}
+
+func TestClockReentrantRunPanics(t *testing.T) {
+	var c Clock
+	c.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		c.Run()
+	})
+	c.Run()
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed RNGs matched %d/100 draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGBoolFrequency(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %.4f, want ~0.30", frac)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(13)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(50)
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 48 || mean > 52 {
+		t.Fatalf("Exp(50) sample mean %.2f, want ~50", mean)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(17)
+	var sum, ss float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+	}
+	mean := sum / n
+	r2 := NewRNG(17)
+	for i := 0; i < n; i++ {
+		v := r2.Normal(10, 2)
+		ss += (v - mean) * (v - mean)
+	}
+	if mean < 9.9 || mean > 10.1 {
+		t.Fatalf("Normal(10,2) mean %.3f, want ~10", mean)
+	}
+	sd := ss / n
+	if sd < 3.6 || sd > 4.4 { // variance ~4
+		t.Fatalf("Normal(10,2) variance %.3f, want ~4", sd)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Fork()
+	// The child must not replay the parent's stream.
+	p := NewRNG(99)
+	p.Uint64() // consume the draw Fork used
+	if child.Uint64() == p.Uint64() {
+		// Matching once is possible but the streams should diverge.
+		if child.Uint64() == p.Uint64() && child.Uint64() == p.Uint64() {
+			t.Fatal("forked RNG correlates with parent stream")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). Every stochastic element of the simulator (packet loss,
+// jitter, workload arrivals) draws from an explicitly seeded RNG so runs
+// are reproducible. We avoid math/rand's global state on purpose.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same seed
+// produce identical sequences.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("netsim: RNG.Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean,
+// useful for Poisson arrival processes.
+func (r *RNG) Exp(mean float64) float64 {
+	// Inverse transform sampling; guard against log(0).
+	u := r.Float64()
+	if u >= 1 {
+		u = 0.9999999999999999
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Normal returns an approximately normally distributed value using the
+// sum-of-uniforms (Irwin–Hall) method, which is accurate enough for jitter
+// modelling and avoids importing math for Box–Muller trig.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return mean + stddev*(s-6)
+}
+
+// Fork derives an independent generator from this one, so subsystems can be
+// given their own streams without correlating draws.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}

@@ -1,0 +1,155 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MsgType identifies a controller-channel message.
+type MsgType uint8
+
+// Controller-channel message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgFlowMod
+	MsgPacketIn
+	MsgPacketOut
+	MsgFlowExpired
+	MsgStatsRequest
+	MsgStatsReply
+	MsgError
+)
+
+// maxFrame bounds a frame to keep a malicious peer from forcing huge
+// allocations.
+const maxFrame = 1 << 20
+
+// Hello opens a controller channel.
+type Hello struct {
+	SwitchID string `json:"switch_id"`
+	Version  int    `json:"version"`
+}
+
+// FlowModCommand selects FlowMod behaviour.
+type FlowModCommand string
+
+// FlowMod commands.
+const (
+	FlowAdd          FlowModCommand = "add"
+	FlowDeleteCookie FlowModCommand = "delete-cookie"
+)
+
+// FlowMod installs or removes flow entries.
+type FlowMod struct {
+	Command     FlowModCommand `json:"command"`
+	Priority    int            `json:"priority,omitempty"`
+	Match       Match          `json:"match,omitempty"`
+	Actions     []Action       `json:"actions,omitempty"`
+	Cookie      uint64         `json:"cookie,omitempty"`
+	IdleTimeout time.Duration  `json:"idle_timeout,omitempty"`
+	HardTimeout time.Duration  `json:"hard_timeout,omitempty"`
+}
+
+// Apply executes the mod against a table at the given simulated time. It
+// returns how many entries were affected.
+func (fm *FlowMod) Apply(t *FlowTable, now time.Duration) int {
+	switch fm.Command {
+	case FlowAdd:
+		t.Install(&FlowEntry{
+			Priority:    fm.Priority,
+			Match:       fm.Match,
+			Actions:     fm.Actions,
+			Cookie:      fm.Cookie,
+			IdleTimeout: fm.IdleTimeout,
+			HardTimeout: fm.HardTimeout,
+		}, now)
+		return 1
+	case FlowDeleteCookie:
+		return t.RemoveByCookie(fm.Cookie)
+	}
+	return 0
+}
+
+// PacketIn carries a table-missed packet to the controller.
+type PacketIn struct {
+	SwitchID string `json:"switch_id"`
+	InPort   uint16 `json:"in_port"`
+	Data     []byte `json:"data"`
+}
+
+// PacketOut carries a controller-generated packet to a switch port.
+type PacketOut struct {
+	Port uint16 `json:"port"`
+	Data []byte `json:"data"`
+}
+
+// FlowExpired notifies the controller of an evicted entry.
+type FlowExpired struct {
+	Cookie  uint64 `json:"cookie"`
+	Packets int64  `json:"packets"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// StatsRequest asks for per-cookie counters.
+type StatsRequest struct {
+	Cookie uint64 `json:"cookie"`
+}
+
+// StatsReply answers a StatsRequest.
+type StatsReply struct {
+	Cookie  uint64 `json:"cookie"`
+	Packets int64  `json:"packets"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// ErrorMsg reports a protocol or application error.
+type ErrorMsg struct {
+	Code   int    `json:"code"`
+	Reason string `json:"reason"`
+}
+
+// WriteMessage frames and writes one message: 4-byte big-endian length
+// covering the type byte plus JSON body.
+func WriteMessage(w io.Writer, t MsgType, body interface{}) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("openflow: encode %d: %w", t, err)
+	}
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("openflow: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadMessage reads one framed message and returns its type and raw JSON
+// body. Decode the body with DecodeBody.
+func ReadMessage(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("openflow: bad frame length %d", n)
+	}
+	body := make([]byte, n-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[4]), body, nil
+}
+
+// DecodeBody unmarshals a message body into out.
+func DecodeBody(body []byte, out interface{}) error {
+	return json.Unmarshal(body, out)
+}

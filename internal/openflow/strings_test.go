@@ -1,0 +1,131 @@
+package openflow
+
+import (
+	"strings"
+	"testing"
+
+	"pvn/internal/packet"
+)
+
+func TestActionStringsAndTerminal(t *testing.T) {
+	cases := []struct {
+		a        Action
+		want     string
+		terminal bool
+	}{
+		{Output(3), "output:3", true},
+		{Drop(), "drop", true},
+		{ToController(), "controller", true},
+		{ToMiddlebox("alice/secure"), "mbx:alice/secure", false},
+		{Metered("m1"), "meter:m1", false},
+		{SetDst(packet.MustParseIPv4("1.2.3.4"), 0), "set-dst:1.2.3.4", false},
+		{SetDst(packet.MustParseIPv4("1.2.3.4"), 99), "set-dst:1.2.3.4:99", false},
+		{Tunnel("cloud"), "tunnel:cloud", true},
+		{Action{Type: ActionType(200)}, "action(200)", false},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+		if got := c.a.Terminal(); got != c.terminal {
+			t.Errorf("%s Terminal() = %v, want %v", c.want, got, c.terminal)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictDrop: "drop", VerdictOutput: "output",
+		VerdictController: "controller", VerdictTunnel: "tunnel",
+		Verdict(99): "verdict(99)",
+	} {
+		if v.String() != want {
+			t.Errorf("Verdict(%d).String() = %q", v, v.String())
+		}
+	}
+}
+
+func TestFlowEntryStringAndEntries(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Install(&FlowEntry{Priority: 9, Match: Match{Fields: FieldDstPort, DstPort: 80},
+		Actions: []Action{Output(1)}}, 0)
+	tbl.Install(&FlowEntry{Priority: 5, Actions: []Action{Drop()}}, 0)
+	entries := tbl.Entries()
+	if len(entries) != 2 || entries[0].Priority != 9 {
+		t.Fatalf("entries %v", entries)
+	}
+	s := entries[0].String()
+	for _, want := range []string{"prio=9", "dport=80", "output:1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("entry string %q missing %q", s, want)
+		}
+	}
+	// Mutating the returned slice must not corrupt the table.
+	entries[0] = nil
+	if tbl.Entries()[0] == nil {
+		t.Fatal("Entries returned the live slice")
+	}
+}
+
+func TestSwitchString(t *testing.T) {
+	sw := NewSwitch("s1", nil)
+	if s := sw.Table.Entries(); len(s) != 0 {
+		t.Fatal("fresh table non-empty")
+	}
+	if got := VerdictOutput.String(); got == "" {
+		t.Fatal("empty verdict string")
+	}
+}
+
+func TestRewriteDstUDPAndPlainIP(t *testing.T) {
+	dst := packet.MustParseIPv4("10.9.9.9")
+
+	// UDP rewrite, port change included.
+	ip := &packet.IPv4{Src: packet.MustParseIPv4("10.0.0.1"), Dst: packet.MustParseIPv4("10.0.0.2"), Protocol: packet.IPProtoUDP}
+	udp := &packet.UDP{SrcPort: 1000, DstPort: 53}
+	udp.SetNetworkLayerForChecksum(ip)
+	data, _ := packet.SerializeToBytes(ip, udp, packet.Payload("q"))
+	out, err := RewriteDst(data, dst, 5353)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := packet.Decode(out, packet.LayerTypeIPv4)
+	if p.IPv4().Dst != dst || p.UDP().DstPort != 5353 {
+		t.Fatalf("udp rewrite %s", p)
+	}
+	if !p.UDP().VerifyChecksum(p.IPv4().LayerPayload()) {
+		t.Fatal("udp checksum broken")
+	}
+
+	// Plain IP (no transport): address rewritten, payload preserved.
+	ip2 := &packet.IPv4{Src: packet.MustParseIPv4("10.0.0.1"), Dst: packet.MustParseIPv4("10.0.0.2"), Protocol: 250}
+	data2, _ := packet.SerializeToBytes(ip2, packet.Payload("raw"))
+	out2, err := RewriteDst(data2, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := packet.Decode(out2, packet.LayerTypeIPv4)
+	if p2.IPv4().Dst != dst || string(p2.IPv4().LayerPayload()) != "raw" {
+		t.Fatalf("plain rewrite %s", p2)
+	}
+
+	// Non-IPv4 input errors.
+	if _, err := RewriteDst([]byte("garbage"), dst, 0); err == nil {
+		t.Fatal("garbage rewritten")
+	}
+}
+
+func TestEffBits(t *testing.T) {
+	m := &Match{Fields: FieldSrcIP, SrcIP: packet.MustParseIPv4("10.0.0.0"), SrcBits: 8}
+	if s := m.String(); !strings.Contains(s, "/8") {
+		t.Fatalf("string %q", s)
+	}
+	m.SrcBits = 0
+	if s := m.String(); !strings.Contains(s, "/32") {
+		t.Fatalf("string %q", s)
+	}
+	m.SrcBits = 40
+	if s := m.String(); !strings.Contains(s, "/32") {
+		t.Fatalf("string %q", s)
+	}
+}

@@ -1,0 +1,165 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlowEntry is one rule: if Match, run Actions. Higher Priority wins;
+// among equal priorities the earliest-installed entry wins
+// (deterministic, like OpenFlow's undefined-order made concrete).
+type FlowEntry struct {
+	Priority int
+	Match    Match
+	Actions  []Action
+	// Cookie is an opaque owner tag; the PVN deployment server uses it
+	// to attribute rules to user deployments and tear them down.
+	Cookie uint64
+	// IdleTimeout evicts the entry when unused this long; 0 = never.
+	IdleTimeout time.Duration
+	// HardTimeout evicts the entry this long after install; 0 = never.
+	HardTimeout time.Duration
+
+	// Counters.
+	Packets int64
+	Bytes   int64
+
+	installedAt time.Duration
+	lastUsed    time.Duration
+	seq         uint64
+}
+
+// String implements fmt.Stringer.
+func (e *FlowEntry) String() string {
+	return fmt.Sprintf("prio=%d %s -> %v (pkts=%d)", e.Priority, e.Match.String(), e.Actions, e.Packets)
+}
+
+// FlowTable is a priority-ordered rule set. It is safe for concurrent
+// use: the data plane (Lookup/Expire) and the control plane
+// (Install/RemoveByCookie, possibly arriving over a controller channel
+// on another goroutine) serialize on an internal mutex, exactly the
+// boundary a hardware table's driver would own.
+type FlowTable struct {
+	mu      sync.Mutex
+	entries []*FlowEntry
+	nextSeq uint64
+	// MissActions run on table miss. Default: punt to controller. Set
+	// before the table is shared.
+	MissActions []Action
+}
+
+// NewFlowTable returns an empty table whose miss behaviour is
+// ToController, the OpenFlow default PVN relies on.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{MissActions: []Action{ToController()}}
+}
+
+// Len returns the number of installed entries.
+func (t *FlowTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Entries returns the entries in match order (highest priority first).
+// The returned entries are live: their counters may keep changing.
+func (t *FlowTable) Entries() []*FlowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*FlowEntry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// Install adds an entry at the given simulated time and keeps the table
+// sorted by (priority desc, seq asc).
+func (t *FlowTable) Install(e *FlowEntry, now time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.seq = t.nextSeq
+	t.nextSeq++
+	e.installedAt = now
+	e.lastUsed = now
+	t.entries = append(t.entries, e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Priority != t.entries[j].Priority {
+			return t.entries[i].Priority > t.entries[j].Priority
+		}
+		return t.entries[i].seq < t.entries[j].seq
+	})
+}
+
+// Lookup returns the actions for the packet summary and updates counters.
+// Misses return the table's MissActions and a nil entry.
+func (t *FlowTable) Lookup(f PacketFields, size int, now time.Duration) ([]Action, *FlowEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.Match.Matches(f) {
+			e.Packets++
+			e.Bytes += int64(size)
+			e.lastUsed = now
+			return e.Actions, e
+		}
+	}
+	return t.MissActions, nil
+}
+
+// Expire removes entries whose idle or hard timeout has passed and
+// returns them (so the switch can notify the controller).
+func (t *FlowTable) Expire(now time.Duration) []*FlowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var expired []*FlowEntry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		dead := false
+		if e.HardTimeout > 0 && now-e.installedAt >= e.HardTimeout {
+			dead = true
+		}
+		if e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout {
+			dead = true
+		}
+		if dead {
+			expired = append(expired, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return expired
+}
+
+// RemoveByCookie deletes all entries with the given cookie and returns how
+// many were removed. The deployment server uses this for PVN teardown.
+func (t *FlowTable) RemoveByCookie(cookie uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.Cookie == cookie {
+			removed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// StatsByCookie sums packet/byte counters over entries with the cookie,
+// the data source for usage-based billing.
+func (t *FlowTable) StatsByCookie(cookie uint64) (packets, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.Cookie == cookie {
+			packets += e.Packets
+			bytes += e.Bytes
+		}
+	}
+	return packets, bytes
+}

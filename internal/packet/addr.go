@@ -1,0 +1,58 @@
+package packet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IPv4Address is a 4-byte IPv4 address. Being an array it is comparable
+// and usable as a map key.
+type IPv4Address [4]byte
+
+// String renders dotted-quad form.
+func (a IPv4Address) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IsZero reports whether the address is 0.0.0.0.
+func (a IPv4Address) IsZero() bool { return a == IPv4Address{} }
+
+// ParseIPv4 parses dotted-quad form. It returns an error for anything
+// else, including IPv6 and hostnames.
+func ParseIPv4(s string) (IPv4Address, error) {
+	var a IPv4Address
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a, fmt.Errorf("packet: invalid IPv4 address %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return a, fmt.Errorf("packet: invalid IPv4 address %q", s)
+		}
+		a[i] = byte(v)
+	}
+	return a, nil
+}
+
+// MustParseIPv4 is ParseIPv4 that panics on error, for tests and
+// constants.
+func MustParseIPv4(s string) IPv4Address {
+	a, err := ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MACAddress is a 6-byte Ethernet address.
+type MACAddress [6]byte
+
+// String renders colon-separated hex form.
+func (m MACAddress) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// BroadcastMAC is the all-ones Ethernet broadcast address.
+var BroadcastMAC = MACAddress{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}

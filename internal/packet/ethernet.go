@@ -1,0 +1,51 @@
+package packet
+
+import "encoding/binary"
+
+// EtherType values this stack understands.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Src, Dst  MACAddress
+	EtherType uint16
+	payload   []byte
+}
+
+// LayerType implements Layer.
+func (*Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// NextLayerType implements DecodingLayer.
+func (e *Ethernet) NextLayerType() LayerType {
+	if e.EtherType == EtherTypeIPv4 {
+		return LayerTypeIPv4
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes implements DecodingLayer. The payload slice aliases data.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < 14 {
+		return errf(LayerTypeEthernet, "frame too short (%d bytes)", len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[14:]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *Buffer) error {
+	h := b.Prepend(14)
+	copy(h[0:6], e.Dst[:])
+	copy(h[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(h[12:14], e.EtherType)
+	return nil
+}

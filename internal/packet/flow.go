@@ -1,0 +1,104 @@
+package packet
+
+import "fmt"
+
+// Endpoint is one side of a transport conversation.
+type Endpoint struct {
+	Addr IPv4Address
+	Port uint16
+}
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Flow is a 5-tuple identifying a transport conversation. Flows are
+// comparable and usable as map keys.
+type Flow struct {
+	Proto    byte // IPProtoTCP or IPProtoUDP
+	Src, Dst Endpoint
+}
+
+// String implements fmt.Stringer.
+func (f Flow) String() string {
+	proto := "proto?"
+	switch f.Proto {
+	case IPProtoTCP:
+		proto = "tcp"
+	case IPProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s->%s", proto, f.Src, f.Dst)
+}
+
+// Reverse returns the flow in the opposite direction.
+func (f Flow) Reverse() Flow {
+	return Flow{Proto: f.Proto, Src: f.Dst, Dst: f.Src}
+}
+
+// Canonical returns a direction-independent form: the endpoint ordering is
+// normalized so that a flow and its reverse map to the same key. Useful
+// for per-connection state tables.
+func (f Flow) Canonical() Flow {
+	if less(f.Dst, f.Src) {
+		return f.Reverse()
+	}
+	return f
+}
+
+func less(a, b Endpoint) bool {
+	for i := range a.Addr {
+		if a.Addr[i] != b.Addr[i] {
+			return a.Addr[i] < b.Addr[i]
+		}
+	}
+	return a.Port < b.Port
+}
+
+// FastHash returns a 64-bit symmetric hash: a flow and its reverse hash to
+// the same value (gopacket's property), so bidirectional traffic can be
+// sharded consistently.
+func (f Flow) FastHash() uint64 {
+	ha := hashEndpoint(f.Src)
+	hb := hashEndpoint(f.Dst)
+	// XOR is symmetric; mix in the protocol.
+	h := ha ^ hb ^ (uint64(f.Proto) * 0x9e3779b97f4a7c15)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func hashEndpoint(e Endpoint) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range e.Addr {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= uint64(e.Port)
+	h *= 1099511628211
+	return h
+}
+
+// FlowOf extracts the 5-tuple from a decoded packet, or ok=false when the
+// packet lacks an IPv4+TCP/UDP stack.
+func FlowOf(p *Packet) (Flow, bool) {
+	ip := p.IPv4()
+	if ip == nil {
+		return Flow{}, false
+	}
+	if t := p.TCP(); t != nil {
+		return Flow{
+			Proto: IPProtoTCP,
+			Src:   Endpoint{Addr: ip.Src, Port: t.SrcPort},
+			Dst:   Endpoint{Addr: ip.Dst, Port: t.DstPort},
+		}, true
+	}
+	if u := p.UDP(); u != nil {
+		return Flow{
+			Proto: IPProtoUDP,
+			Src:   Endpoint{Addr: ip.Src, Port: u.SrcPort},
+			Dst:   Endpoint{Addr: ip.Dst, Port: u.DstPort},
+		}, true
+	}
+	return Flow{}, false
+}

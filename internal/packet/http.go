@@ -1,0 +1,143 @@
+package packet
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// HTTP is a parsed HTTP/1.x message (request or response). It is
+// intentionally tolerant: middleboxes see individual segments, so a
+// message may carry a partial body.
+type HTTP struct {
+	IsRequest bool
+
+	// Request fields.
+	Method, Path, Proto string
+	// Response fields.
+	StatusCode int
+	StatusText string
+
+	// Headers preserves receipt order; header names are canonicalized to
+	// lower case for lookup via Header().
+	Headers []HTTPHeader
+	Body    []byte
+}
+
+// HTTPHeader is one header line.
+type HTTPHeader struct {
+	Name, Value string
+}
+
+// LayerType implements Layer.
+func (*HTTP) LayerType() LayerType { return LayerTypeHTTP }
+
+// LayerPayload implements Layer.
+func (h *HTTP) LayerPayload() []byte { return h.Body }
+
+// NextLayerType implements DecodingLayer.
+func (*HTTP) NextLayerType() LayerType { return LayerTypeInvalid }
+
+// Header returns the value of the named header (case-insensitive), or "".
+func (h *HTTP) Header(name string) string {
+	for _, hd := range h.Headers {
+		if strings.EqualFold(hd.Name, name) {
+			return hd.Value
+		}
+	}
+	return ""
+}
+
+// SetHeader replaces the named header or appends it if absent.
+func (h *HTTP) SetHeader(name, value string) {
+	for i, hd := range h.Headers {
+		if strings.EqualFold(hd.Name, name) {
+			h.Headers[i].Value = value
+			return
+		}
+	}
+	h.Headers = append(h.Headers, HTTPHeader{Name: name, Value: value})
+}
+
+// Host returns the request host (Host header).
+func (h *HTTP) Host() string { return h.Header("Host") }
+
+// DecodeFromBytes implements DecodingLayer.
+func (h *HTTP) DecodeFromBytes(data []byte) error {
+	headEnd := bytes.Index(data, []byte("\r\n\r\n"))
+	var head, body []byte
+	if headEnd < 0 {
+		head = data // header-only fragment
+	} else {
+		head = data[:headEnd]
+		body = data[headEnd+4:]
+	}
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return errf(LayerTypeHTTP, "empty message")
+	}
+	first := strings.SplitN(lines[0], " ", 3)
+	if len(first) < 3 {
+		return errf(LayerTypeHTTP, "malformed start line %q", lines[0])
+	}
+	if strings.HasPrefix(first[0], "HTTP/") {
+		h.IsRequest = false
+		h.Proto = first[0]
+		code, err := strconv.Atoi(first[1])
+		if err != nil {
+			return errf(LayerTypeHTTP, "bad status code %q", first[1])
+		}
+		h.StatusCode = code
+		h.StatusText = first[2]
+	} else {
+		if !strings.HasPrefix(first[2], "HTTP/") {
+			return errf(LayerTypeHTTP, "not an HTTP start line %q", lines[0])
+		}
+		h.IsRequest = true
+		h.Method = first[0]
+		h.Path = first[1]
+		h.Proto = first[2]
+	}
+	h.Headers = h.Headers[:0]
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		colon := strings.Index(line, ":")
+		if colon < 0 {
+			return errf(LayerTypeHTTP, "malformed header %q", line)
+		}
+		h.Headers = append(h.Headers, HTTPHeader{
+			Name:  strings.TrimSpace(line[:colon]),
+			Value: strings.TrimSpace(line[colon+1:]),
+		})
+	}
+	h.Body = body
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (h *HTTP) SerializeTo(b *Buffer) error {
+	var sb strings.Builder
+	if h.IsRequest {
+		proto := h.Proto
+		if proto == "" {
+			proto = "HTTP/1.1"
+		}
+		fmt.Fprintf(&sb, "%s %s %s\r\n", h.Method, h.Path, proto)
+	} else {
+		proto := h.Proto
+		if proto == "" {
+			proto = "HTTP/1.1"
+		}
+		fmt.Fprintf(&sb, "%s %d %s\r\n", proto, h.StatusCode, h.StatusText)
+	}
+	for _, hd := range h.Headers {
+		fmt.Fprintf(&sb, "%s: %s\r\n", hd.Name, hd.Value)
+	}
+	sb.WriteString("\r\n")
+	out := append([]byte(sb.String()), h.Body...)
+	b.PushBytes(out)
+	return nil
+}

@@ -1,0 +1,115 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTTPRequestRoundTrip(t *testing.T) {
+	in := &HTTP{
+		IsRequest: true, Method: "POST", Path: "/api/login",
+		Headers: []HTTPHeader{{"Host", "api.example.com"}, {"Content-Type", "application/json"}},
+		Body:    []byte(`{"user":"alice","password":"hunter2"}`),
+	}
+	data, err := SerializeToBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out HTTP
+	if err := out.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsRequest || out.Method != "POST" || out.Path != "/api/login" || out.Proto != "HTTP/1.1" {
+		t.Fatalf("decoded %+v", out)
+	}
+	if out.Host() != "api.example.com" {
+		t.Fatalf("host %q", out.Host())
+	}
+	if string(out.Body) != string(in.Body) {
+		t.Fatalf("body %q", out.Body)
+	}
+}
+
+func TestHTTPResponseRoundTrip(t *testing.T) {
+	in := &HTTP{StatusCode: 404, StatusText: "Not Found", Headers: []HTTPHeader{{"Content-Length", "0"}}}
+	data, err := SerializeToBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out HTTP
+	if err := out.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if out.IsRequest || out.StatusCode != 404 || out.StatusText != "Not Found" {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestHTTPHeaderCaseInsensitive(t *testing.T) {
+	var h HTTP
+	if err := h.DecodeFromBytes([]byte("GET / HTTP/1.1\r\ncOnTeNt-TyPe: text/html\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if h.Header("Content-Type") != "text/html" {
+		t.Fatalf("lookup failed: %+v", h.Headers)
+	}
+}
+
+func TestHTTPSetHeader(t *testing.T) {
+	h := &HTTP{IsRequest: true, Method: "GET", Path: "/"}
+	h.SetHeader("X-Test", "1")
+	h.SetHeader("x-test", "2") // case-insensitive replace
+	if len(h.Headers) != 1 || h.Header("X-Test") != "2" {
+		t.Fatalf("headers %+v", h.Headers)
+	}
+}
+
+func TestHTTPMalformedInputs(t *testing.T) {
+	bad := []string{
+		"",
+		"GARBAGE\r\n\r\n",
+		"GET /\r\n\r\n",                         // missing proto
+		"HTTP/1.1 xyz Bad\r\n\r\n",              // bad status code
+		"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", // bad header
+	}
+	for _, s := range bad {
+		var h HTTP
+		if err := h.DecodeFromBytes([]byte(s)); err == nil {
+			t.Errorf("accepted malformed input %q", s)
+		}
+	}
+}
+
+func TestHTTPHeaderOnlyFragment(t *testing.T) {
+	var h HTTP
+	// No \r\n\r\n terminator: still parse what is there.
+	if err := h.DecodeFromBytes([]byte("GET /a HTTP/1.1\r\nHost: h")); err != nil {
+		t.Fatal(err)
+	}
+	if h.Path != "/a" {
+		t.Fatalf("path %q", h.Path)
+	}
+}
+
+func TestHTTPStatusTextWithSpaces(t *testing.T) {
+	var h HTTP
+	if err := h.DecodeFromBytes([]byte("HTTP/1.1 500 Internal Server Error\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if h.StatusText != "Internal Server Error" {
+		t.Fatalf("status text %q", h.StatusText)
+	}
+}
+
+func TestHTTPLargeBodyPreserved(t *testing.T) {
+	body := strings.Repeat("x", 10000)
+	in := &HTTP{IsRequest: true, Method: "PUT", Path: "/big", Body: []byte(body)}
+	data, _ := SerializeToBytes(in)
+	var out HTTP
+	if err := out.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Body) != 10000 {
+		t.Fatalf("body length %d", len(out.Body))
+	}
+}

@@ -1,0 +1,156 @@
+package packet
+
+import "encoding/binary"
+
+// IP protocol numbers this stack understands.
+const (
+	IPProtoICMP byte = 1
+	IPProtoTCP  byte = 6
+	IPProtoUDP  byte = 17
+)
+
+// IPv4 is an IPv4 header. Options are accepted on decode (skipped per IHL)
+// but never emitted on serialize.
+type IPv4 struct {
+	Version  byte // always 4
+	IHL      byte // header length in 32-bit words
+	TOS      byte
+	Length   uint16 // total length incl. header; recomputed on serialize
+	ID       uint16
+	Flags    byte   // 3 bits
+	FragOff  uint16 // 13 bits
+	TTL      byte
+	Protocol byte
+	Checksum uint16 // recomputed on serialize
+	Src, Dst IPv4Address
+
+	payload []byte
+}
+
+// LayerType implements Layer.
+func (*IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// NextLayerType implements DecodingLayer.
+func (ip *IPv4) NextLayerType() LayerType {
+	switch ip.Protocol {
+	case IPProtoTCP:
+		return LayerTypeTCP
+	case IPProtoUDP:
+		return LayerTypeUDP
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes implements DecodingLayer. It verifies the header
+// checksum and rejects corrupted headers.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return errf(LayerTypeIPv4, "header too short (%d bytes)", len(data))
+	}
+	ip.Version = data[0] >> 4
+	ip.IHL = data[0] & 0x0f
+	if ip.Version != 4 {
+		return errf(LayerTypeIPv4, "version %d", ip.Version)
+	}
+	hlen := int(ip.IHL) * 4
+	if hlen < 20 || hlen > len(data) {
+		return errf(LayerTypeIPv4, "bad IHL %d", ip.IHL)
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = byte(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+
+	if Checksum(data[:hlen]) != 0 {
+		return errf(LayerTypeIPv4, "header checksum mismatch")
+	}
+	if int(ip.Length) < hlen {
+		return errf(LayerTypeIPv4, "total length %d < header length %d", ip.Length, hlen)
+	}
+	end := int(ip.Length)
+	if end > len(data) {
+		end = len(data) // tolerate truncated captures
+	}
+	ip.payload = data[hlen:end]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer. Length and Checksum are
+// computed from the current buffer contents; IHL is forced to 5. The
+// payload must fit the 16-bit total-length field (65515 bytes).
+func (ip *IPv4) SerializeTo(b *Buffer) error {
+	payloadLen := b.Len()
+	if payloadLen > 65535-20 {
+		return errf(LayerTypeIPv4, "payload %d bytes exceeds IPv4 maximum", payloadLen)
+	}
+	h := b.Prepend(20)
+	h[0] = 4<<4 | 5
+	h[1] = ip.TOS
+	binary.BigEndian.PutUint16(h[2:4], uint16(20+payloadLen))
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	h[8] = ttl
+	h[9] = ip.Protocol
+	copy(h[12:16], ip.Src[:])
+	copy(h[16:20], ip.Dst[:])
+	binary.BigEndian.PutUint16(h[10:12], Checksum(h))
+	return nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data. Verifying a
+// buffer that embeds its own checksum yields 0.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial sum of the TCP/UDP pseudo-header.
+func pseudoHeaderSum(src, dst IPv4Address, proto byte, length int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// transportChecksum computes the TCP/UDP checksum of segment (which must
+// have its checksum field zeroed) under the given pseudo-header.
+func transportChecksum(src, dst IPv4Address, proto byte, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

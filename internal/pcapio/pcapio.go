@@ -1,0 +1,179 @@
+// Package pcapio reads and writes classic libpcap capture files
+// (https://wiki.wireshark.org/Development/LibpcapFileFormat). PVN
+// deployments use it two ways: the pcap-tap middlebox lets a user
+// capture their own traffic as it crosses their virtual network (the
+// files open in Wireshark/tcpdump), and the auditor archives probe
+// traffic as evidence alongside violation records.
+//
+// Only the classic format (not pcapng) is implemented; timestamps are
+// microsecond-resolution, the default linktype is LINKTYPE_RAW (IPv4/v6
+// packets with no link header), and both byte orders are accepted on
+// read.
+package pcapio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Link types this package cares about.
+const (
+	// LinkTypeRaw means packets start at the IP header — the PVN data
+	// plane's native framing.
+	LinkTypeRaw uint32 = 101
+	// LinkTypeEthernet for captures that include Ethernet headers.
+	LinkTypeEthernet uint32 = 1
+)
+
+const (
+	magicLE     uint32 = 0xa1b2c3d4 // written natively (we write LE)
+	magicBE     uint32 = 0xd4c3b2a1
+	versionMaj  uint16 = 2
+	versionMin  uint16 = 4
+	defaultSnap uint32 = 262144
+)
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("pcapio: not a pcap file")
+	ErrTruncated = errors.New("pcapio: truncated file")
+)
+
+// Writer emits a pcap stream. Create with NewWriter; packets are written
+// with WritePacket.
+type Writer struct {
+	w       io.Writer
+	snaplen uint32
+
+	// Packets counts records written.
+	Packets int64
+}
+
+// NewWriter writes the global header for the given link type and returns
+// a packet writer.
+func NewWriter(w io.Writer, linkType uint32) (*Writer, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicLE)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMin)
+	// thiszone=0, sigfigs=0
+	binary.LittleEndian.PutUint32(hdr[16:20], defaultSnap)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkType)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: write header: %w", err)
+	}
+	return &Writer{w: w, snaplen: defaultSnap}, nil
+}
+
+// WritePacket appends one record. ts is the capture timestamp (simulated
+// time maps directly; it only needs to be monotonic). Packets longer
+// than the snap length are truncated with the original length preserved.
+func (w *Writer) WritePacket(ts time.Duration, data []byte) error {
+	caplen := uint32(len(data))
+	origlen := caplen
+	if caplen > w.snaplen {
+		caplen = w.snaplen
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ts/time.Second))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(ts%time.Second/time.Microsecond))
+	binary.LittleEndian.PutUint32(hdr[8:12], caplen)
+	binary.LittleEndian.PutUint32(hdr[12:16], origlen)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcapio: write record header: %w", err)
+	}
+	if _, err := w.w.Write(data[:caplen]); err != nil {
+		return fmt.Errorf("pcapio: write record: %w", err)
+	}
+	w.Packets++
+	return nil
+}
+
+// Record is one captured packet.
+type Record struct {
+	// Timestamp reconstructed from the record header.
+	Timestamp time.Duration
+	// Data is the captured bytes (possibly truncated).
+	Data []byte
+	// OrigLen is the packet's original length on the wire.
+	OrigLen int
+}
+
+// Reader parses a pcap stream.
+type Reader struct {
+	r io.Reader
+	// LinkType from the global header.
+	LinkType uint32
+	// Snaplen from the global header.
+	Snaplen uint32
+
+	order binary.ByteOrder
+}
+
+// NewReader validates the global header (either byte order).
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:4]) {
+	case magicLE:
+		order = binary.LittleEndian
+	case magicBE:
+		order = binary.BigEndian
+	default:
+		return nil, ErrBadMagic
+	}
+	return &Reader{
+		r:        r,
+		order:    order,
+		Snaplen:  order.Uint32(hdr[16:20]),
+		LinkType: order.Uint32(hdr[20:24]),
+	}, nil
+}
+
+// ReadPacket returns the next record, or io.EOF at a clean end of file.
+func (r *Reader) ReadPacket() (*Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+	}
+	sec := r.order.Uint32(hdr[0:4])
+	usec := r.order.Uint32(hdr[4:8])
+	caplen := r.order.Uint32(hdr[8:12])
+	origlen := r.order.Uint32(hdr[12:16])
+	if caplen > r.Snaplen+65536 {
+		return nil, fmt.Errorf("pcapio: implausible capture length %d", caplen)
+	}
+	data := make([]byte, caplen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return nil, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
+	}
+	return &Record{
+		Timestamp: time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond,
+		Data:      data,
+		OrigLen:   int(origlen),
+	}, nil
+}
+
+// ReadAll drains the stream into memory (tests, small evidence files).
+func (r *Reader) ReadAll() ([]*Record, error) {
+	var out []*Record
+	for {
+		rec, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,145 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := [][]byte{
+		{0x45, 0, 0, 20, 1, 2, 3},
+		bytes.Repeat([]byte{0xAB}, 1500),
+		{},
+	}
+	times := []time.Duration{0, 1500 * time.Millisecond, time.Hour + 42*time.Microsecond}
+	for i := range pkts {
+		if err := w.WritePacket(times[i], pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets != 3 {
+		t.Fatalf("writer count %d", w.Packets)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeRaw || r.Snaplen != defaultSnap {
+		t.Fatalf("header %d/%d", r.LinkType, r.Snaplen)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records %d", len(recs))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Data, pkts[i]) {
+			t.Fatalf("record %d corrupted", i)
+		}
+		if rec.Timestamp != times[i] {
+			t.Fatalf("record %d ts %v, want %v", i, rec.Timestamp, times[i])
+		}
+		if rec.OrigLen != len(pkts[i]) {
+			t.Fatalf("record %d origlen %d", i, rec.OrigLen)
+		}
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-build a big-endian capture with one 4-byte packet.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], magicLE) // BE writer stores magic natively
+	binary.BigEndian.PutUint16(hdr[4:6], versionMaj)
+	binary.BigEndian.PutUint16(hdr[6:8], versionMin)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 7)     // sec
+	binary.BigEndian.PutUint32(rec[4:8], 1000)  // usec
+	binary.BigEndian.PutUint32(rec[8:12], 4)    // caplen
+	binary.BigEndian.PutUint32(rec[12:16], 999) // origlen
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Fatalf("linktype %d", r.LinkType)
+	}
+	p, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Timestamp != 7*time.Second+time.Millisecond || p.OrigLen != 999 || len(p.Data) != 4 {
+		t.Fatalf("record %+v", p)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(bytes.Repeat([]byte{0x00}, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeRaw)
+	w.WritePacket(0, []byte{1, 2, 3, 4})
+	full := buf.Bytes()
+
+	// Cut inside the record body.
+	if _, err := NewReader(bytes.NewReader(full[:10])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header err=%v", err)
+	}
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short body err=%v", err)
+	}
+}
+
+func TestCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	NewWriter(&buf, LinkTypeRaw)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty capture err=%v", err)
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeRaw)
+	w.snaplen = 8
+	big := bytes.Repeat([]byte{0xCC}, 100)
+	w.WritePacket(0, big)
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	rec, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 8 || rec.OrigLen != 100 {
+		t.Fatalf("truncation: cap %d orig %d", len(rec.Data), rec.OrigLen)
+	}
+}

@@ -1,0 +1,30 @@
+package pki
+
+import (
+	"io"
+
+	"pvn/internal/netsim"
+)
+
+// detReader adapts the simulator's deterministic RNG to io.Reader so key
+// generation is reproducible inside experiments.
+type detReader struct {
+	rng *netsim.RNG
+}
+
+// NewDeterministicRand returns an entropy source that produces the same
+// byte stream for the same seed. Never use it outside simulations.
+func NewDeterministicRand(seed uint64) io.Reader {
+	return &detReader{rng: netsim.NewRNG(seed)}
+}
+
+// Read implements io.Reader.
+func (d *detReader) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		v := d.rng.Uint64()
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return len(p), nil
+}

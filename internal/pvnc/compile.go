@@ -1,0 +1,194 @@
+package pvnc
+
+import (
+	"fmt"
+
+	"pvn/internal/openflow"
+	"pvn/internal/packet"
+)
+
+// CompileOptions bind a PVNC to a concrete deployment point.
+type CompileOptions struct {
+	// Cookie tags every generated flow entry so the deployment can be
+	// torn down and billed as a unit.
+	Cookie uint64
+	// DevicePort and UpstreamPort are the switch ports toward the
+	// device and toward the Internet.
+	DevicePort, UpstreamPort uint16
+	// ChainNamespace prefixes chain references in middlebox actions
+	// ("<namespace>/<chain>"). Empty defaults to the PVNC owner. A
+	// deployment server that hosts the same PVNC for several of one
+	// user's devices gives each deployment its own namespace so their
+	// chains don't collide (§3.1: "a user can specify the same PVNC
+	// for multiple devices").
+	ChainNamespace string
+}
+
+// MeterPlan defines one meter to install.
+type MeterPlan struct {
+	ID      string
+	RateBps float64
+}
+
+// Compiled is the lowered form of a PVNC: everything the deployment
+// server installs.
+type Compiled struct {
+	// FlowMods are installed into the edge switch, already
+	// priority-ordered.
+	FlowMods []openflow.FlowMod
+	// Meters must exist before the FlowMods referencing them.
+	Meters []MeterPlan
+	// Middleboxes must be instantiated (per middlebox runtime) before
+	// traffic flows.
+	Middleboxes []Middlebox
+	// Chains are built from the instantiated middleboxes.
+	Chains []Chain
+	// Owner and Hash identify the deployment; Namespace is the chain
+	// namespace middlebox actions reference.
+	Owner     string
+	Namespace string
+	Hash      string
+}
+
+// Compile lowers a validated PVNC to flow rules and deployment plans. It
+// fails if Validate reports any violation: invalid configurations must
+// not reach the data plane.
+func Compile(p *PVNC, opt CompileOptions) (*Compiled, error) {
+	if errs := p.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("pvnc: refusing to compile invalid config: %v", errs[0])
+	}
+	ns := opt.ChainNamespace
+	if ns == "" {
+		ns = p.Owner
+	}
+	out := &Compiled{
+		Middleboxes: append([]Middlebox(nil), p.Middleboxes...),
+		Chains:      append([]Chain(nil), p.Chains...),
+		Owner:       p.Owner,
+		Namespace:   ns,
+		Hash:        p.Hash(),
+	}
+
+	for _, pol := range p.SortedPolicies() {
+		var meterID string
+		if pol.RateBps > 0 {
+			meterID = fmt.Sprintf("%s-p%d", p.Name, pol.Priority)
+			out.Meters = append(out.Meters, MeterPlan{ID: meterID, RateBps: pol.RateBps})
+		}
+
+		base := []openflow.Action{}
+		if pol.Via != "" {
+			base = append(base, openflow.ToMiddlebox(ns+"/"+pol.Via))
+		}
+		if meterID != "" {
+			base = append(base, openflow.Metered(meterID))
+		}
+		terminalOut, terminalIn := terminalActions(pol, opt)
+
+		if pol.Match.Any {
+			// The catch-all still only covers the deployment's own
+			// addresses: a PVN must never interpose on (or forward)
+			// other subscribers' traffic (§3.3 isolation).
+			for _, addr := range p.CoveredAddrs() {
+				out.FlowMods = append(out.FlowMods, openflow.FlowMod{
+					Command:  openflow.FlowAdd,
+					Priority: pol.Priority,
+					Match:    openflow.Match{Fields: openflow.FieldSrcIP, SrcIP: addr, SrcBits: 32},
+					Actions:  append(append([]openflow.Action(nil), base...), terminalOut...),
+					Cookie:   opt.Cookie,
+				})
+				out.FlowMods = append(out.FlowMods, openflow.FlowMod{
+					Command:  openflow.FlowAdd,
+					Priority: pol.Priority,
+					Match:    openflow.Match{Fields: openflow.FieldDstIP, DstIP: addr, DstBits: 32},
+					Actions:  append(append([]openflow.Action(nil), base...), terminalIn...),
+					Cookie:   opt.Cookie,
+				})
+			}
+			continue
+		}
+
+		// One outbound + one mirrored inbound rule per covered address
+		// (the device, plus any sensors the policies also protect).
+		for _, addr := range p.CoveredAddrs() {
+			mOut := matchFor(pol.Match, addr, true)
+			out.FlowMods = append(out.FlowMods, openflow.FlowMod{
+				Command:  openflow.FlowAdd,
+				Priority: pol.Priority,
+				Match:    mOut,
+				Actions:  append(append([]openflow.Action(nil), base...), terminalOut...),
+				Cookie:   opt.Cookie,
+			})
+			mIn := matchFor(pol.Match, addr, false)
+			out.FlowMods = append(out.FlowMods, openflow.FlowMod{
+				Command:  openflow.FlowAdd,
+				Priority: pol.Priority,
+				Match:    mIn,
+				Actions:  append(append([]openflow.Action(nil), base...), terminalIn...),
+				Cookie:   opt.Cookie,
+			})
+		}
+	}
+	return out, nil
+}
+
+// terminalActions returns the outbound and inbound terminal action lists
+// for a policy.
+func terminalActions(pol Policy, opt CompileOptions) (outb, inb []openflow.Action) {
+	switch pol.Action {
+	case ActDrop:
+		return []openflow.Action{openflow.Drop()}, []openflow.Action{openflow.Drop()}
+	case ActTunnel:
+		return []openflow.Action{openflow.Tunnel(pol.TunnelName)}, []openflow.Action{openflow.Tunnel(pol.TunnelName)}
+	default: // forward
+		return []openflow.Action{openflow.Output(opt.UpstreamPort)}, []openflow.Action{openflow.Output(opt.DevicePort)}
+	}
+}
+
+// matchFor builds the openflow match for one direction. outbound pins the
+// device as source; inbound mirrors ports/prefix and pins the device as
+// destination.
+func matchFor(m MatchSpec, device packet.IPv4Address, outbound bool) openflow.Match {
+	var om openflow.Match
+	if m.Proto != "" {
+		om.Fields |= openflow.FieldProto
+		if m.Proto == "tcp" {
+			om.Proto = packet.IPProtoTCP
+		} else {
+			om.Proto = packet.IPProtoUDP
+		}
+	}
+	if outbound {
+		om.Fields |= openflow.FieldSrcIP
+		om.SrcIP, om.SrcBits = device, 32
+		if m.SrcPort != 0 {
+			om.Fields |= openflow.FieldSrcPort
+			om.SrcPort = m.SrcPort
+		}
+		if m.DstPort != 0 {
+			om.Fields |= openflow.FieldDstPort
+			om.DstPort = m.DstPort
+		}
+		if m.hasDst {
+			om.Fields |= openflow.FieldDstIP
+			om.DstIP, om.DstBits = m.Dst, m.DstBits
+		}
+	} else {
+		om.Fields |= openflow.FieldDstIP
+		om.DstIP, om.DstBits = device, 32
+		// Mirror: the remote's port/prefix appear on the source side.
+		if m.SrcPort != 0 {
+			om.Fields |= openflow.FieldDstPort
+			om.DstPort = m.SrcPort
+		}
+		if m.DstPort != 0 {
+			om.Fields |= openflow.FieldSrcPort
+			om.SrcPort = m.DstPort
+		}
+		if m.hasDst {
+			om.Fields |= openflow.FieldSrcIP
+			om.SrcIP, om.SrcBits = m.Dst, m.DstBits
+		}
+	}
+	return om
+}

@@ -1,0 +1,128 @@
+package pvnc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pvn/internal/packet"
+)
+
+// Format renders the PVNC back to canonical source text. Parse(Format(p))
+// yields an equivalent configuration; the discovery protocol uses this to
+// construct reduced (subset) configurations during renegotiation (§3.1).
+func (p *PVNC) Format() string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "pvnc %s\n", p.Name)
+	}
+	if p.Owner != "" {
+		fmt.Fprintf(&b, "owner %s\n", p.Owner)
+	}
+	if !p.Device.IsZero() {
+		fmt.Fprintf(&b, "device %s\n", p.Device)
+	}
+	for _, s := range p.Sensors {
+		fmt.Fprintf(&b, "sensor %s\n", s)
+	}
+	for _, m := range p.Middleboxes {
+		fmt.Fprintf(&b, "middlebox %s %s", m.LocalName, m.Type)
+		keys := make([]string, 0, len(m.Config))
+		for k := range m.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, m.Config[k])
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range p.Chains {
+		fmt.Fprintf(&b, "chain %s %s\n", c.Name, strings.Join(c.Members, " "))
+	}
+	for _, pol := range p.SortedPolicies() {
+		fmt.Fprintf(&b, "policy %d match", pol.Priority)
+		if pol.Match.Any {
+			b.WriteString(" any")
+		}
+		if pol.Match.Proto != "" {
+			fmt.Fprintf(&b, " proto=%s", pol.Match.Proto)
+		}
+		if pol.Match.SrcPort != 0 {
+			fmt.Fprintf(&b, " sport=%d", pol.Match.SrcPort)
+		}
+		if pol.Match.DstPort != 0 {
+			fmt.Fprintf(&b, " dport=%d", pol.Match.DstPort)
+		}
+		if pol.Match.hasDst {
+			fmt.Fprintf(&b, " dst=%s/%d", pol.Match.Dst, pol.Match.DstBits)
+		}
+		if pol.Via != "" {
+			fmt.Fprintf(&b, " via=%s", pol.Via)
+		}
+		if pol.RateBps > 0 {
+			fmt.Fprintf(&b, " rate=%.0fbps", pol.RateBps)
+		}
+		switch pol.Action {
+		case ActTunnel:
+			fmt.Fprintf(&b, " action=tunnel:%s", pol.TunnelName)
+		case ActDrop:
+			b.WriteString(" action=drop")
+		default:
+			b.WriteString(" action=forward")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Reduce returns a copy of the PVNC restricted to the middlebox types the
+// provider supports: unsupported middleboxes are removed, chains lose
+// those members (empty chains are removed), and policies referencing
+// removed chains lose their via clause. The returned slice names what was
+// dropped; empty means the PVNC was already deployable.
+func Reduce(p *PVNC, supported map[string]bool) (*PVNC, []string, error) {
+	var dropped []string
+	keepMbx := map[string]bool{}
+	reduced := &PVNC{Name: p.Name, Owner: p.Owner, Device: p.Device, Sensors: append([]packet.IPv4Address(nil), p.Sensors...)}
+	for _, m := range p.Middleboxes {
+		if supported[m.Type] {
+			reduced.Middleboxes = append(reduced.Middleboxes, m)
+			keepMbx[m.LocalName] = true
+		} else {
+			dropped = append(dropped, "middlebox:"+m.LocalName)
+		}
+	}
+	keepChain := map[string]bool{}
+	for _, c := range p.Chains {
+		var members []string
+		for _, m := range c.Members {
+			if keepMbx[m] {
+				members = append(members, m)
+			}
+		}
+		if len(members) == 0 {
+			dropped = append(dropped, "chain:"+c.Name)
+			continue
+		}
+		if len(members) < len(c.Members) {
+			dropped = append(dropped, "chain-members:"+c.Name)
+		}
+		reduced.Chains = append(reduced.Chains, Chain{Name: c.Name, Members: members})
+		keepChain[c.Name] = true
+	}
+	for _, pol := range p.Policies {
+		if pol.Via != "" && !keepChain[pol.Via] {
+			dropped = append(dropped, fmt.Sprintf("policy-via:%d", pol.Priority))
+			pol.Via = ""
+		}
+		reduced.Policies = append(reduced.Policies, pol)
+	}
+	// Round-trip through the canonical text so the reduced config has a
+	// faithful Source/Hash of its own.
+	out, err := Parse(reduced.Format())
+	if err != nil {
+		return nil, nil, fmt.Errorf("pvnc: reduce produced unparseable config: %w", err)
+	}
+	return out, dropped, nil
+}

@@ -1,0 +1,112 @@
+package pvnc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	p := parseGood(t)
+	q, err := Parse(p.Format())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if errs := q.Validate(); len(errs) != 0 {
+		t.Fatalf("formatted config invalid: %v", errs)
+	}
+	if q.Name != p.Name || q.Owner != p.Owner || q.Device != p.Device {
+		t.Fatal("header changed by round trip")
+	}
+	if len(q.Middleboxes) != len(p.Middleboxes) || len(q.Chains) != len(p.Chains) || len(q.Policies) != len(p.Policies) {
+		t.Fatal("structure changed by round trip")
+	}
+	// Idempotence: formatting the reparsed config gives identical text.
+	if q.Format() != Parse2(t, q.Format()).Format() {
+		t.Fatal("Format not idempotent")
+	}
+	// Policies keep semantics.
+	for i, pol := range q.SortedPolicies() {
+		want := p.SortedPolicies()[i]
+		if pol.Priority != want.Priority || pol.Action != want.Action || pol.Via != want.Via || pol.RateBps != want.RateBps {
+			t.Fatalf("policy %d changed: %+v vs %+v", i, pol, want)
+		}
+	}
+}
+
+// Parse2 is a test helper that fails on error.
+func Parse2(t *testing.T, src string) *PVNC {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReduceDropsUnsupported(t *testing.T) {
+	p := parseGood(t)
+	supported := map[string]bool{"tls-verify": true, "pii-detect": true} // no transcoder
+	r, dropped, err := Reduce(p, supported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Middleboxes) != 2 {
+		t.Fatalf("middleboxes %d, want 2", len(r.Middleboxes))
+	}
+	for _, c := range r.Chains {
+		if c.Name == "video" {
+			t.Fatal("video chain should be gone (only member unsupported)")
+		}
+	}
+	joined := strings.Join(dropped, ",")
+	for _, want := range []string{"middlebox:vid", "chain:video", "policy-via:80"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("dropped list %v missing %s", dropped, want)
+		}
+	}
+	if errs := r.Validate(); len(errs) != 0 {
+		t.Fatalf("reduced config invalid: %v", errs)
+	}
+	// The rate policy survives, just without its chain.
+	var found bool
+	for _, pol := range r.Policies {
+		if pol.Priority == 80 {
+			found = true
+			if pol.Via != "" {
+				t.Fatal("via not cleared")
+			}
+			if pol.RateBps != 1.5e6 {
+				t.Fatal("rate lost")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("priority-80 policy lost")
+	}
+}
+
+func TestReduceFullySupportedIsNoop(t *testing.T) {
+	p := parseGood(t)
+	supported := map[string]bool{"tls-verify": true, "pii-detect": true, "transcoder": true}
+	r, dropped, err := Reduce(p, supported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 0 {
+		t.Fatalf("dropped %v from fully supported config", dropped)
+	}
+	if len(r.Middleboxes) != 3 || len(r.Chains) != 2 {
+		t.Fatal("structure changed")
+	}
+}
+
+func TestReducedHashDiffers(t *testing.T) {
+	p := parseGood(t)
+	r, _, err := Reduce(p, map[string]bool{"tls-verify": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hash() == p.Hash() {
+		t.Fatal("reduced config has same hash as original")
+	}
+}

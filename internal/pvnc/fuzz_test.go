@@ -1,0 +1,33 @@
+package pvnc
+
+import "testing"
+
+// FuzzParse: the PVNC parser must never panic, and anything it accepts
+// must survive the Format/Parse round trip with its validation outcome
+// intact.
+func FuzzParse(f *testing.F) {
+	f.Add(goodSrc)
+	f.Add("pvnc x\nowner a\ndevice 1.2.3.4\npolicy 0 match any action=forward")
+	f.Add("middlebox a b c=d")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		valid := len(p.Validate()) == 0
+		q, err := Parse(p.Format())
+		if err != nil {
+			t.Fatalf("Format produced unparseable text: %v", err)
+		}
+		if (len(q.Validate()) == 0) != valid {
+			t.Fatal("validation outcome changed across Format/Parse")
+		}
+		if valid {
+			if _, err := Compile(p, CompileOptions{UpstreamPort: 1}); err != nil {
+				t.Fatalf("valid config failed to compile: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package pvnc
+
+import "fmt"
+
+// WithMiddlebox returns a new PVNC with an additional middlebox
+// declaration — how PVN Store modules get grafted into a user's
+// configuration (§3.1: "PVNC components can be provided as independent
+// entities and shared among users"). The result is re-parsed from
+// canonical text so its Source and Hash are authoritative; the caller
+// still needs to reference the new middlebox from a chain/policy for it
+// to see traffic.
+func WithMiddlebox(p *PVNC, mb Middlebox) (*PVNC, error) {
+	for _, existing := range p.Middleboxes {
+		if existing.LocalName == mb.LocalName {
+			return nil, fmt.Errorf("pvnc: middlebox %q already present", mb.LocalName)
+		}
+	}
+	clone := *p
+	clone.Middleboxes = append(append([]Middlebox(nil), p.Middleboxes...), mb)
+	return Parse(clone.Format())
+}
+
+// WithChain returns a new PVNC with an additional chain over existing
+// middleboxes.
+func WithChain(p *PVNC, c Chain) (*PVNC, error) {
+	clone := *p
+	clone.Chains = append(append([]Chain(nil), p.Chains...), c)
+	out, err := Parse(clone.Format())
+	if err != nil {
+		return nil, err
+	}
+	if errs := out.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("pvnc: chain addition invalid: %v", errs[0])
+	}
+	return out, nil
+}
+
+// WithPolicy returns a new PVNC with an additional policy.
+func WithPolicy(p *PVNC, pol Policy) (*PVNC, error) {
+	clone := *p
+	clone.Policies = append(append([]Policy(nil), p.Policies...), pol)
+	out, err := Parse(clone.Format())
+	if err != nil {
+		return nil, err
+	}
+	if errs := out.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("pvnc: policy addition invalid: %v", errs[0])
+	}
+	return out, nil
+}

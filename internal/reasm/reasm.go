@@ -1,0 +1,227 @@
+// Package reasm implements TCP stream reassembly for PVN middleboxes:
+// per-direction in-order byte streams rebuilt from possibly out-of-order,
+// duplicated or overlapping segments, with sequence-number wraparound
+// handled. Middleboxes that parse application messages larger than one
+// segment (TLS certificate chains, big HTTP bodies) consume the
+// contiguous stream instead of raw packets — the same job gopacket's
+// tcpassembly does for real capture pipelines.
+package reasm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pvn/internal/packet"
+)
+
+// ErrBufferExceeded reports an out-of-order buffer past its limit, which
+// in a middlebox means the flow should be bypassed or dropped rather
+// than buffered forever.
+var ErrBufferExceeded = errors.New("reasm: out-of-order buffer limit exceeded")
+
+// seqLess reports a < b in TCP sequence space (RFC 1982-style wraparound
+// comparison).
+func seqLess(a, b uint32) bool {
+	return int32(a-b) < 0
+}
+
+// Stream reassembles one direction of one TCP connection.
+type Stream struct {
+	// MaxBuffered caps buffered out-of-order bytes. Zero means 256 KiB.
+	MaxBuffered int
+
+	started bool
+	next    uint32 // next expected sequence number
+	// pending holds out-of-order segments keyed by sequence number.
+	pending  map[uint32][]byte
+	buffered int
+	// ready is the contiguous reassembled byte stream not yet consumed.
+	ready []byte
+
+	// Stats.
+	Delivered  int64 // bytes made contiguous
+	Duplicates int64 // fully duplicate segments discarded
+	OutOfOrder int64 // segments that had to wait
+}
+
+// NewStream creates a stream; the first pushed segment anchors the
+// sequence space (or call Anchor to pin it explicitly).
+func NewStream() *Stream {
+	return &Stream{pending: make(map[uint32][]byte)}
+}
+
+// Anchor pins the next expected sequence number before any data arrives
+// — a TCP receiver anchors at ISN+1 after the handshake, so a
+// retransmitted first segment trims correctly. No-op once started.
+func (s *Stream) Anchor(seq uint32) {
+	if !s.started {
+		s.started = true
+		s.next = seq
+	}
+}
+
+func (s *Stream) maxBuffered() int {
+	if s.MaxBuffered == 0 {
+		return 256 << 10
+	}
+	return s.MaxBuffered
+}
+
+// Push adds a segment at the given sequence number. Overlaps are trimmed
+// (first copy wins), duplicates dropped, and out-of-order data buffered
+// until the gap fills.
+func (s *Stream) Push(seq uint32, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if !s.started {
+		s.started = true
+		s.next = seq
+	}
+
+	// Trim any prefix we already have.
+	if seqLess(seq, s.next) {
+		over := s.next - seq // bytes already delivered
+		if uint32(len(data)) <= over {
+			s.Duplicates++
+			return nil
+		}
+		data = data[over:]
+		seq = s.next
+	}
+
+	if seq == s.next {
+		s.deliver(data)
+		s.drainPending()
+		return nil
+	}
+
+	// Out of order: buffer (first copy wins on exact-key collision).
+	if _, dup := s.pending[seq]; dup {
+		s.Duplicates++
+		return nil
+	}
+	if s.buffered+len(data) > s.maxBuffered() {
+		return fmt.Errorf("%w: %d buffered", ErrBufferExceeded, s.buffered)
+	}
+	s.pending[seq] = append([]byte(nil), data...)
+	s.buffered += len(data)
+	s.OutOfOrder++
+	return nil
+}
+
+func (s *Stream) deliver(data []byte) {
+	s.ready = append(s.ready, data...)
+	s.next += uint32(len(data))
+	s.Delivered += int64(len(data))
+}
+
+// drainPending promotes buffered segments that have become contiguous.
+func (s *Stream) drainPending() {
+	for {
+		seg, ok := s.pending[s.next]
+		if !ok {
+			// A buffered segment may START before next (overlap with
+			// what just got delivered): scan for one that covers next.
+			found := false
+			for seq, data := range s.pending {
+				if seqLess(seq, s.next) {
+					end := seq + uint32(len(data))
+					delete(s.pending, seq)
+					s.buffered -= len(data)
+					if seqLess(s.next, end) {
+						s.deliver(data[s.next-seq:])
+						found = true
+					} else {
+						s.Duplicates++
+					}
+					break
+				}
+			}
+			if !found {
+				return
+			}
+			continue
+		}
+		delete(s.pending, s.next)
+		s.buffered -= len(seg)
+		s.deliver(seg)
+	}
+}
+
+// Bytes returns the contiguous stream accumulated so far without
+// consuming it.
+func (s *Stream) Bytes() []byte { return s.ready }
+
+// Consume discards the first n contiguous bytes (a parser took them).
+func (s *Stream) Consume(n int) {
+	if n >= len(s.ready) {
+		s.ready = s.ready[:0]
+		return
+	}
+	s.ready = append(s.ready[:0], s.ready[n:]...)
+}
+
+// Gaps reports buffered out-of-order segment starts, for diagnostics.
+func (s *Stream) Gaps() []uint32 {
+	out := make([]uint32, 0, len(s.pending))
+	for seq := range s.pending {
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return seqLess(out[i], out[j]) })
+	return out
+}
+
+// Assembler routes packets of many flows to per-direction streams.
+type Assembler struct {
+	// MaxBuffered applies to every stream.
+	MaxBuffered int
+
+	streams map[packet.Flow]*Stream
+}
+
+// NewAssembler builds an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{streams: make(map[packet.Flow]*Stream)}
+}
+
+// StreamFor returns (creating if needed) the stream for a directional
+// flow.
+func (a *Assembler) StreamFor(f packet.Flow) *Stream {
+	s, ok := a.streams[f]
+	if !ok {
+		s = NewStream()
+		s.MaxBuffered = a.MaxBuffered
+		a.streams[f] = s
+	}
+	return s
+}
+
+// Feed pushes a decoded TCP packet into its stream and returns that
+// stream, or nil for non-TCP packets or empty payloads.
+func (a *Assembler) Feed(p *packet.Packet) (*Stream, error) {
+	t := p.TCP()
+	if t == nil {
+		return nil, nil
+	}
+	payload := t.LayerPayload()
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	f, ok := packet.FlowOf(p)
+	if !ok {
+		return nil, nil
+	}
+	s := a.StreamFor(f)
+	if err := s.Push(t.Seq, payload); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Release drops a flow's stream (connection closed).
+func (a *Assembler) Release(f packet.Flow) { delete(a.streams, f) }
+
+// Flows reports how many directional streams are live.
+func (a *Assembler) Flows() int { return len(a.streams) }

@@ -1,0 +1,318 @@
+// Package sdncontroller implements the PVN control channel over real
+// network connections: a controller that accepts switch connections,
+// installs flow rules remotely and reacts to packet-ins, and the
+// switch-side agent that speaks the same framed protocol
+// (openflow.WriteMessage/ReadMessage). This is the piece that makes the
+// compiled PVNC deployable onto switches that are not in the same
+// process — cmd/pvnd uses it over TCP.
+package sdncontroller
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pvn/internal/openflow"
+)
+
+// ErrUnknownSwitch is returned when pushing rules to a switch that never
+// connected.
+var ErrUnknownSwitch = errors.New("sdncontroller: unknown switch")
+
+// ProtocolVersion is sent in Hello; mismatched peers are rejected.
+const ProtocolVersion = 1
+
+// PacketInFunc decides what to do with a punted packet. Returned flow
+// mods are installed on the punting switch; a non-nil PacketOut is sent
+// back for transmission.
+type PacketInFunc func(switchID string, pi *openflow.PacketIn) ([]openflow.FlowMod, *openflow.PacketOut)
+
+// Controller manages a fleet of switch connections.
+type Controller struct {
+	// OnPacketIn handles punts; nil ignores them.
+	OnPacketIn PacketInFunc
+	// OnExpired observes flow expirations; nil ignores them.
+	OnExpired func(switchID string, exp *openflow.FlowExpired)
+
+	mu       sync.Mutex
+	switches map[string]*switchConn
+	// statsWaiters holds pending RequestStats calls keyed by
+	// switchID/cookie.
+	statsWaiters map[string]chan *openflow.StatsReply
+}
+
+type switchConn struct {
+	id string
+
+	writeMu sync.Mutex
+	conn    net.Conn
+}
+
+func (sc *switchConn) send(t openflow.MsgType, body interface{}) error {
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	return openflow.WriteMessage(sc.conn, t, body)
+}
+
+// New builds a controller.
+func New() *Controller {
+	return &Controller{
+		switches:     make(map[string]*switchConn),
+		statsWaiters: make(map[string]chan *openflow.StatsReply),
+	}
+}
+
+// Switches lists connected switch IDs.
+func (c *Controller) Switches() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.switches))
+	for id := range c.switches {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Serve accepts switch connections until the listener closes.
+func (c *Controller) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go c.handle(conn)
+	}
+}
+
+// HandleConn serves a single pre-established connection (useful with
+// net.Pipe in tests). It returns when the connection closes.
+func (c *Controller) HandleConn(conn net.Conn) { c.handle(conn) }
+
+func (c *Controller) handle(conn net.Conn) {
+	defer conn.Close()
+	// First message must be Hello.
+	t, body, err := openflow.ReadMessage(conn)
+	if err != nil || t != openflow.MsgHello {
+		return
+	}
+	var hello openflow.Hello
+	if err := openflow.DecodeBody(body, &hello); err != nil || hello.SwitchID == "" {
+		return
+	}
+	if hello.Version != ProtocolVersion {
+		sc := &switchConn{id: hello.SwitchID, conn: conn}
+		sc.send(openflow.MsgError, &openflow.ErrorMsg{Code: 1, Reason: "version mismatch"})
+		return
+	}
+	sc := &switchConn{id: hello.SwitchID, conn: conn}
+	c.mu.Lock()
+	c.switches[hello.SwitchID] = sc
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if c.switches[hello.SwitchID] == sc {
+			delete(c.switches, hello.SwitchID)
+		}
+		c.mu.Unlock()
+	}()
+	sc.send(openflow.MsgHello, &openflow.Hello{SwitchID: "controller", Version: ProtocolVersion})
+
+	for {
+		t, body, err := openflow.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch t {
+		case openflow.MsgPacketIn:
+			var pi openflow.PacketIn
+			if err := openflow.DecodeBody(body, &pi); err != nil {
+				continue
+			}
+			if c.OnPacketIn == nil {
+				continue
+			}
+			mods, po := c.OnPacketIn(sc.id, &pi)
+			for i := range mods {
+				sc.send(openflow.MsgFlowMod, &mods[i])
+			}
+			if po != nil {
+				sc.send(openflow.MsgPacketOut, po)
+			}
+		case openflow.MsgFlowExpired:
+			var exp openflow.FlowExpired
+			if err := openflow.DecodeBody(body, &exp); err != nil {
+				continue
+			}
+			if c.OnExpired != nil {
+				c.OnExpired(sc.id, &exp)
+			}
+		case openflow.MsgStatsReply:
+			var sr openflow.StatsReply
+			if err := openflow.DecodeBody(body, &sr); err != nil {
+				continue
+			}
+			key := statsKey(sc.id, sr.Cookie)
+			c.mu.Lock()
+			ch := c.statsWaiters[key]
+			delete(c.statsWaiters, key)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- &sr
+			}
+		}
+	}
+}
+
+func statsKey(switchID string, cookie uint64) string {
+	return fmt.Sprintf("%s/%d", switchID, cookie)
+}
+
+// RequestStats queries a switch for per-cookie counters and waits up to
+// timeout for the reply — the control-plane read the billing pipeline
+// uses when the switch is remote.
+func (c *Controller) RequestStats(switchID string, cookie uint64, timeout time.Duration) (*openflow.StatsReply, error) {
+	c.mu.Lock()
+	sc := c.switches[switchID]
+	if sc == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSwitch, switchID)
+	}
+	key := statsKey(switchID, cookie)
+	ch := make(chan *openflow.StatsReply, 1)
+	c.statsWaiters[key] = ch
+	c.mu.Unlock()
+
+	if err := sc.send(openflow.MsgStatsRequest, &openflow.StatsRequest{Cookie: cookie}); err != nil {
+		c.mu.Lock()
+		delete(c.statsWaiters, key)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case sr := <-ch:
+		return sr, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.statsWaiters, key)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("sdncontroller: stats request to %q timed out", switchID)
+	}
+}
+
+// PushFlowMods installs rules on a connected switch.
+func (c *Controller) PushFlowMods(switchID string, mods []openflow.FlowMod) error {
+	c.mu.Lock()
+	sc := c.switches[switchID]
+	c.mu.Unlock()
+	if sc == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownSwitch, switchID)
+	}
+	for i := range mods {
+		if err := sc.send(openflow.MsgFlowMod, &mods[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Agent is the switch-side endpoint: it connects a local
+// openflow.Switch to a remote controller.
+type Agent struct {
+	Switch *openflow.Switch
+	// Output transmits packets the controller sends via PacketOut;
+	// nil discards them.
+	Output func(port uint16, data []byte)
+
+	sc   *switchConn
+	done chan struct{}
+}
+
+// NewAgent wires an agent to a switch. The agent installs itself as the
+// switch's controller (packet-ins flow to the remote side) and forwards
+// flow expirations as FLOW_REMOVED-style notifications.
+func NewAgent(sw *openflow.Switch) *Agent {
+	a := &Agent{Switch: sw, done: make(chan struct{})}
+	sw.Controller = a
+	sw.OnExpired = func(e *openflow.FlowEntry) {
+		if a.sc == nil {
+			return
+		}
+		a.sc.send(openflow.MsgFlowExpired, &openflow.FlowExpired{
+			Cookie: e.Cookie, Packets: e.Packets, Bytes: e.Bytes,
+		})
+	}
+	return a
+}
+
+// PacketIn implements openflow.PacketInHandler by forwarding the punt to
+// the remote controller.
+func (a *Agent) PacketIn(sw *openflow.Switch, inPort uint16, data []byte) {
+	if a.sc == nil {
+		return
+	}
+	a.sc.send(openflow.MsgPacketIn, &openflow.PacketIn{SwitchID: sw.ID, InPort: inPort, Data: data})
+}
+
+// Run performs the Hello exchange and processes controller messages
+// until the connection closes. Call it in its own goroutine.
+func (a *Agent) Run(conn net.Conn) error {
+	defer close(a.done)
+	sc := &switchConn{id: a.Switch.ID, conn: conn}
+	a.sc = sc
+	if err := sc.send(openflow.MsgHello, &openflow.Hello{SwitchID: a.Switch.ID, Version: ProtocolVersion}); err != nil {
+		return err
+	}
+	t, _, err := openflow.ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	if t != openflow.MsgHello {
+		return fmt.Errorf("sdncontroller: expected Hello, got %d", t)
+	}
+	for {
+		t, body, err := openflow.ReadMessage(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch t {
+		case openflow.MsgFlowMod:
+			var fm openflow.FlowMod
+			if err := openflow.DecodeBody(body, &fm); err != nil {
+				continue
+			}
+			fm.Apply(a.Switch.Table, a.Switch.Now())
+		case openflow.MsgPacketOut:
+			var po openflow.PacketOut
+			if err := openflow.DecodeBody(body, &po); err != nil {
+				continue
+			}
+			if a.Output != nil {
+				a.Output(po.Port, po.Data)
+			}
+		case openflow.MsgStatsRequest:
+			var req openflow.StatsRequest
+			if err := openflow.DecodeBody(body, &req); err != nil {
+				continue
+			}
+			p, b := a.Switch.Table.StatsByCookie(req.Cookie)
+			sc.send(openflow.MsgStatsReply, &openflow.StatsReply{Cookie: req.Cookie, Packets: p, Bytes: b})
+		}
+	}
+}
+
+// WaitDone blocks until the agent's Run loop exits or the timeout
+// elapses; it reports whether the loop exited.
+func (a *Agent) WaitDone(timeout time.Duration) bool {
+	select {
+	case <-a.done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

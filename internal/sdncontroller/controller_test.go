@@ -1,0 +1,218 @@
+package sdncontroller
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pvn/internal/openflow"
+	"pvn/internal/packet"
+)
+
+// startPair wires an agent to a controller over a real TCP loopback
+// connection and waits until the switch registers.
+func startPair(t *testing.T, ctrl *Controller, sw *openflow.Switch) *Agent {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go ctrl.Serve(ln)
+
+	agent := NewAgent(sw)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go agent.Run(conn)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(ctrl.Switches()) == 1 {
+			return agent
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("switch never registered with controller")
+	return nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func testPacket(t *testing.T) []byte {
+	t.Helper()
+	ip := &packet.IPv4{Src: packet.MustParseIPv4("10.0.0.1"), Dst: packet.MustParseIPv4("10.0.0.2"), Protocol: packet.IPProtoTCP}
+	tcp := &packet.TCP{SrcPort: 1, DstPort: 80}
+	tcp.SetNetworkLayerForChecksum(ip)
+	data, _ := packet.SerializeToBytes(ip, tcp, packet.Payload("x"))
+	return data
+}
+
+func TestHelloRegistersSwitch(t *testing.T) {
+	ctrl := New()
+	sw := openflow.NewSwitch("edge-1", nil)
+	startPair(t, ctrl, sw)
+	ids := ctrl.Switches()
+	if len(ids) != 1 || ids[0] != "edge-1" {
+		t.Fatalf("switches %v", ids)
+	}
+}
+
+func TestPushFlowModsInstallsRemotely(t *testing.T) {
+	ctrl := New()
+	sw := openflow.NewSwitch("edge-1", nil)
+	startPair(t, ctrl, sw)
+
+	mods := []openflow.FlowMod{
+		{Command: openflow.FlowAdd, Priority: 10, Actions: []openflow.Action{openflow.Output(3)}, Cookie: 9},
+	}
+	if err := ctrl.PushFlowMods("edge-1", mods); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rule install", func() bool { return sw.Table.Len() == 1 })
+
+	d := sw.Process(testPacket(t), 0)
+	if d.Verdict != openflow.VerdictOutput || d.Port != 3 {
+		t.Fatalf("disposition %+v", d)
+	}
+}
+
+func TestPushToUnknownSwitch(t *testing.T) {
+	ctrl := New()
+	if err := ctrl.PushFlowMods("ghost", nil); err == nil {
+		t.Fatal("push to unknown switch succeeded")
+	}
+}
+
+func TestPacketInReachesControllerAndReactiveInstall(t *testing.T) {
+	ctrl := New()
+	got := make(chan *openflow.PacketIn, 1)
+	ctrl.OnPacketIn = func(swID string, pi *openflow.PacketIn) ([]openflow.FlowMod, *openflow.PacketOut) {
+		select {
+		case got <- pi:
+		default:
+		}
+		// Reactive rule: forward this traffic out port 2 from now on.
+		return []openflow.FlowMod{{Command: openflow.FlowAdd, Priority: 5,
+				Actions: []openflow.Action{openflow.Output(2)}}},
+			&openflow.PacketOut{Port: 2, Data: pi.Data}
+	}
+	sw := openflow.NewSwitch("edge-1", nil)
+	var mu sync.Mutex
+	var sent []uint16
+	agent := startPair(t, ctrl, sw)
+	agent.Output = func(port uint16, data []byte) {
+		mu.Lock()
+		sent = append(sent, port)
+		mu.Unlock()
+	}
+
+	// Table miss punts to the controller.
+	d := sw.Process(testPacket(t), 7)
+	if d.Verdict != openflow.VerdictController {
+		t.Fatalf("verdict %v", d.Verdict)
+	}
+	select {
+	case pi := <-got:
+		if pi.SwitchID != "edge-1" || pi.InPort != 7 {
+			t.Fatalf("packet-in %+v", pi)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("controller never saw the packet-in")
+	}
+	waitFor(t, "reactive rule", func() bool { return sw.Table.Len() == 1 })
+	waitFor(t, "packet-out", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(sent) == 1 && sent[0] == 2
+	})
+
+	// Subsequent packets match the reactive rule locally.
+	d = sw.Process(testPacket(t), 7)
+	if d.Verdict != openflow.VerdictOutput || d.Port != 2 {
+		t.Fatalf("post-install disposition %+v", d)
+	}
+}
+
+func TestDisconnectDeregisters(t *testing.T) {
+	ctrl := New()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ctrl.Serve(ln)
+
+	sw := openflow.NewSwitch("edge-1", nil)
+	agent := NewAgent(sw)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go agent.Run(conn)
+	waitFor(t, "register", func() bool { return len(ctrl.Switches()) == 1 })
+
+	conn.Close()
+	waitFor(t, "deregister", func() bool { return len(ctrl.Switches()) == 0 })
+	if !agent.WaitDone(2 * time.Second) {
+		t.Fatal("agent loop did not exit")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	ctrl := New()
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go ctrl.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	openflow.WriteMessage(conn, openflow.MsgHello, &openflow.Hello{SwitchID: "old", Version: 99})
+	typ, body, err := openflow.ReadMessage(conn)
+	if err != nil || typ != openflow.MsgError {
+		t.Fatalf("type=%v err=%v", typ, err)
+	}
+	var em openflow.ErrorMsg
+	openflow.DecodeBody(body, &em)
+	if em.Reason == "" {
+		t.Fatal("empty error reason")
+	}
+	// The switch must not be registered.
+	time.Sleep(10 * time.Millisecond)
+	if len(ctrl.Switches()) != 0 {
+		t.Fatal("mismatched switch registered")
+	}
+}
+
+func TestGarbageConnectionIgnored(t *testing.T) {
+	ctrl := New()
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go ctrl.Serve(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	conn.Close()
+	time.Sleep(10 * time.Millisecond)
+	if len(ctrl.Switches()) != 0 {
+		t.Fatal("garbage peer registered")
+	}
+}

@@ -1,0 +1,99 @@
+package sdncontroller
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pvn/internal/openflow"
+)
+
+// TestFlowExpiryNotifiesController: an entry with a hard timeout expires
+// on the switch and the controller learns its final counters.
+func TestFlowExpiryNotifiesController(t *testing.T) {
+	ctrl := New()
+	var mu sync.Mutex
+	var got []*openflow.FlowExpired
+	ctrl.OnExpired = func(swID string, exp *openflow.FlowExpired) {
+		mu.Lock()
+		got = append(got, exp)
+		mu.Unlock()
+	}
+
+	now := time.Duration(0)
+	sw := openflow.NewSwitch("edge-1", func() time.Duration { return now })
+	startPair(t, ctrl, sw)
+
+	// Install a short-lived rule and account one packet on it.
+	if err := ctrl.PushFlowMods("edge-1", []openflow.FlowMod{{
+		Command: openflow.FlowAdd, Priority: 5, Cookie: 77,
+		HardTimeout: 100 * time.Millisecond,
+		Actions:     []openflow.Action{openflow.Output(1)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rule install", func() bool { return sw.Table.Len() == 1 })
+
+	d := sw.Process(testPacket(t), 0)
+	if d.Verdict != openflow.VerdictOutput {
+		t.Fatalf("verdict %v", d.Verdict)
+	}
+
+	// Advance past the hard timeout; the next packet triggers expiry.
+	now = 200 * time.Millisecond
+	sw.Process(testPacket(t), 0)
+
+	waitFor(t, "expiry notification", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Cookie != 77 || got[0].Packets != 1 {
+		t.Fatalf("expiry %+v", got[0])
+	}
+}
+
+// TestExpiryWithoutAgentIsSafe: a switch with no agent attached must not
+// panic on expiry.
+func TestExpiryWithoutAgentIsSafe(t *testing.T) {
+	now := time.Duration(0)
+	sw := openflow.NewSwitch("lone", func() time.Duration { return now })
+	sw.Table.Install(&openflow.FlowEntry{Priority: 1, HardTimeout: time.Millisecond,
+		Actions: []openflow.Action{openflow.Output(1)}}, 0)
+	now = time.Second
+	sw.Process(testPacket(t), 0) // expires the entry, OnExpired nil
+	if sw.Table.Len() != 0 {
+		t.Fatal("entry survived")
+	}
+}
+
+// TestRequestStatsRoundTrip: the controller pulls per-cookie counters
+// from a remote switch.
+func TestRequestStatsRoundTrip(t *testing.T) {
+	ctrl := New()
+	sw := openflow.NewSwitch("edge-1", nil)
+	startPair(t, ctrl, sw)
+
+	ctrl.PushFlowMods("edge-1", []openflow.FlowMod{{
+		Command: openflow.FlowAdd, Priority: 5, Cookie: 42,
+		Actions: []openflow.Action{openflow.Output(1)},
+	}})
+	waitFor(t, "rule install", func() bool { return sw.Table.Len() == 1 })
+	for i := 0; i < 3; i++ {
+		sw.Process(testPacket(t), 0)
+	}
+
+	sr, err := ctrl.RequestStats("edge-1", 42, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Packets != 3 || sr.Bytes == 0 {
+		t.Fatalf("stats %+v", sr)
+	}
+	// Unknown switch errors immediately.
+	if _, err := ctrl.RequestStats("ghost", 1, time.Second); err == nil {
+		t.Fatal("stats from unknown switch")
+	}
+}

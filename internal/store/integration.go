@@ -1,0 +1,24 @@
+package store
+
+import "pvn/internal/pvnc"
+
+// AsMiddlebox converts a module into the PVNC middlebox declaration it
+// ships, under the given local name. Config is copied so later PVNC
+// edits cannot mutate the store's record.
+func (m *Module) AsMiddlebox(localName string) pvnc.Middlebox {
+	cfg := make(map[string]string, len(m.Config))
+	for k, v := range m.Config {
+		cfg[k] = v
+	}
+	return pvnc.Middlebox{LocalName: localName, Type: m.Type, Config: cfg}
+}
+
+// InstallIntoPVNC installs a module for a user (enforcing entitlement
+// and signature) and grafts it into the configuration under localName.
+func (s *Store) InstallIntoPVNC(user, moduleName, localName string, cfg *pvnc.PVNC) (*pvnc.PVNC, error) {
+	m, err := s.Install(user, moduleName)
+	if err != nil {
+		return nil, err
+	}
+	return pvnc.WithMiddlebox(cfg, m.AsMiddlebox(localName))
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"pvn/internal/pvnc"
+)
+
+const baseCfg = `
+pvnc base
+owner alice
+device 10.0.0.5
+middlebox pii pii-detect mode=block
+chain secure pii
+policy 100 match proto=tcp dport=80 via=secure action=forward
+policy 0 match any action=forward
+`
+
+func TestInstallIntoPVNC(t *testing.T) {
+	f := newFixture(t)
+	f.store.Publish(f.module("acme/radar", "1.0", 0))
+
+	cfg, err := pvnc.Parse(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCfg, err := f.store.InstallIntoPVNC("alice", "acme/radar", "radar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newCfg.Middleboxes) != 2 {
+		t.Fatalf("middleboxes %d", len(newCfg.Middleboxes))
+	}
+	var found *pvnc.Middlebox
+	for i := range newCfg.Middleboxes {
+		if newCfg.Middleboxes[i].LocalName == "radar" {
+			found = &newCfg.Middleboxes[i]
+		}
+	}
+	if found == nil || found.Type != "tracker-block" {
+		t.Fatalf("installed module missing: %+v", newCfg.Middleboxes)
+	}
+	if found.Config["domains"] == "" {
+		t.Fatal("module config lost")
+	}
+	// The original config is untouched and the new one re-hashes.
+	if len(cfg.Middleboxes) != 1 {
+		t.Fatal("original config mutated")
+	}
+	if cfg.Hash() == newCfg.Hash() {
+		t.Fatal("hash unchanged after module install")
+	}
+	// The new config can be extended to actually use the module and
+	// still validates.
+	withChain, err := pvnc.WithChain(newCfg, pvnc.Chain{Name: "trackers", Members: []string{"radar"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPolicy, err := pvnc.WithPolicy(withChain, pvnc.Policy{
+		Priority: 90,
+		Match:    pvnc.MatchSpec{Proto: "tcp", DstPort: 443},
+		Via:      "trackers",
+		Action:   pvnc.ActForward,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := withPolicy.Validate(); len(errs) != 0 {
+		t.Fatalf("extended config invalid: %v", errs)
+	}
+}
+
+func TestInstallIntoPVNCEnforcesEntitlement(t *testing.T) {
+	f := newFixture(t)
+	f.store.Publish(f.module("acme/pro", "1.0", 500))
+	cfg, _ := pvnc.Parse(baseCfg)
+	if _, err := f.store.InstallIntoPVNC("alice", "acme/pro", "pro", cfg); err == nil {
+		t.Fatal("unentitled install succeeded")
+	}
+	f.store.Purchase("alice", "acme/pro", 500)
+	if _, err := f.store.InstallIntoPVNC("alice", "acme/pro", "pro", cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallIntoPVNCDuplicateLocalName(t *testing.T) {
+	f := newFixture(t)
+	f.store.Publish(f.module("acme/radar", "1.0", 0))
+	cfg, _ := pvnc.Parse(baseCfg)
+	if _, err := f.store.InstallIntoPVNC("alice", "acme/radar", "pii", cfg); err == nil ||
+		!strings.Contains(err.Error(), "already present") {
+		t.Fatalf("err=%v", err)
+	}
+}

@@ -1,0 +1,29 @@
+package tcpsim_test
+
+import (
+	"fmt"
+	"time"
+
+	"pvn/internal/netsim"
+	"pvn/internal/tcpsim"
+)
+
+// ExampleCompare shows the split-TCP question at one parameter point: on
+// a long lossy path, does terminating TCP at an in-network proxy beat
+// the direct connection?
+func ExampleCompare() {
+	direct := tcpsim.Params{RTT: 200 * time.Millisecond, BandwidthBps: 2e7, LossRate: 0.02}
+	split := tcpsim.SplitParams{
+		ServerLeg:      tcpsim.Params{RTT: 160 * time.Millisecond, BandwidthBps: 1e8, LossRate: 0.001},
+		ClientLeg:      tcpsim.Params{RTT: 40 * time.Millisecond, BandwidthBps: 2e7, LossRate: 0.02},
+		ProxyPerPacket: 45 * time.Microsecond,
+	}
+	d, s, err := tcpsim.Compare(direct, split, 2_000_000, netsim.NewRNG(3))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("split faster:", s.Duration < d.Duration)
+	// Output:
+	// split faster: true
+}

@@ -1,0 +1,179 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"pvn/internal/netsim"
+)
+
+func mustTransfer(t *testing.T, p Params, bytes int, seed uint64) Trace {
+	t.Helper()
+	tr, err := TransferTime(p, bytes, netsim.NewRNG(seed))
+	if err != nil {
+		t.Fatalf("TransferTime: %v", err)
+	}
+	return tr
+}
+
+func TestValidate(t *testing.T) {
+	good := Params{RTT: 10 * time.Millisecond, BandwidthBps: 1e6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{RTT: 0, BandwidthBps: 1e6},
+		{RTT: time.Millisecond, BandwidthBps: 0},
+		{RTT: time.Millisecond, BandwidthBps: 1e6, LossRate: 1},
+		{RTT: time.Millisecond, BandwidthBps: 1e6, LossRate: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestZeroBytesTransfer(t *testing.T) {
+	p := Params{RTT: 50 * time.Millisecond, BandwidthBps: 1e7}
+	tr := mustTransfer(t, p, 0, 1)
+	if tr.Duration != p.RTT {
+		t.Fatalf("empty transfer took %v, want handshake RTT %v", tr.Duration, p.RTT)
+	}
+}
+
+func TestSmallTransferIsHandshakePlusOneRound(t *testing.T) {
+	p := Params{RTT: 100 * time.Millisecond, BandwidthBps: 1e9}
+	tr := mustTransfer(t, p, 1000, 1) // one segment, no loss
+	if tr.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", tr.Rounds)
+	}
+	if tr.Duration < 200*time.Millisecond || tr.Duration > 210*time.Millisecond {
+		t.Fatalf("duration %v, want ~2 RTT", tr.Duration)
+	}
+}
+
+func TestSlowStartGrowth(t *testing.T) {
+	// 1 MB on a clean fast path: slow start should finish it in few
+	// rounds (10,20,40,80,160,320 segs = ~900KB within 6 rounds).
+	p := Params{RTT: 50 * time.Millisecond, BandwidthBps: 1e9}
+	tr := mustTransfer(t, p, 1_000_000, 1)
+	if tr.Rounds > 8 {
+		t.Fatalf("clean 1MB transfer took %d rounds, slow start broken", tr.Rounds)
+	}
+	if tr.Timeouts != 0 || tr.FastRecoveries != 0 {
+		t.Fatalf("loss events on lossless path: %+v", tr)
+	}
+}
+
+func TestLowerRTTIsFaster(t *testing.T) {
+	slow := Params{RTT: 200 * time.Millisecond, BandwidthBps: 1e8}
+	fast := Params{RTT: 20 * time.Millisecond, BandwidthBps: 1e8}
+	ts := mustTransfer(t, slow, 5_000_000, 1)
+	tf := mustTransfer(t, fast, 5_000_000, 1)
+	if tf.Duration >= ts.Duration {
+		t.Fatalf("lower RTT not faster: %v vs %v", tf.Duration, ts.Duration)
+	}
+}
+
+func TestLossSlowsTransfer(t *testing.T) {
+	clean := Params{RTT: 50 * time.Millisecond, BandwidthBps: 1e8}
+	lossy := clean
+	lossy.LossRate = 0.02
+	tc := mustTransfer(t, clean, 2_000_000, 7)
+	tl := mustTransfer(t, lossy, 2_000_000, 7)
+	if tl.Duration <= tc.Duration {
+		t.Fatalf("2%% loss did not slow transfer: %v vs %v", tl.Duration, tc.Duration)
+	}
+	if tl.FastRecoveries+tl.Timeouts == 0 {
+		t.Fatal("no loss events recorded on lossy path")
+	}
+}
+
+func TestBandwidthBoundsThroughput(t *testing.T) {
+	p := Params{RTT: 10 * time.Millisecond, BandwidthBps: 8e6} // 1 MB/s
+	tr := mustTransfer(t, p, 10_000_000, 1)
+	if tr.Throughput > p.BandwidthBps*1.05 {
+		t.Fatalf("throughput %.0f exceeds link rate %.0f", tr.Throughput, p.BandwidthBps)
+	}
+	// Large transfer should approach the link rate (>50%).
+	if tr.Throughput < p.BandwidthBps*0.5 {
+		t.Fatalf("throughput %.0f far below link rate %.0f", tr.Throughput, p.BandwidthBps)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	p := Params{RTT: 80 * time.Millisecond, BandwidthBps: 2e6, LossRate: 0.03}
+	a := mustTransfer(t, p, 1_000_000, 99)
+	b := mustTransfer(t, p, 1_000_000, 99)
+	if a != b {
+		t.Fatalf("same seed, different traces: %+v vs %+v", a, b)
+	}
+}
+
+func TestFirstByteBeforeCompletion(t *testing.T) {
+	p := Params{RTT: 50 * time.Millisecond, BandwidthBps: 1e7}
+	tr := mustTransfer(t, p, 3_000_000, 1)
+	if tr.FirstByte <= 0 || tr.FirstByte >= tr.Duration {
+		t.Fatalf("FirstByte %v outside (0, %v)", tr.FirstByte, tr.Duration)
+	}
+}
+
+// TestSplitHelpsLongLossyPath reproduces the paper's §2.2 claim: splitting
+// a long path at an on-path proxy speeds up loss recovery and window
+// growth.
+func TestSplitHelpsLongLossyPath(t *testing.T) {
+	direct := Params{RTT: 200 * time.Millisecond, BandwidthBps: 2e7, LossRate: 0.02}
+	sp := SplitParams{
+		ServerLeg:      Params{RTT: 160 * time.Millisecond, BandwidthBps: 1e8, LossRate: 0.001},
+		ClientLeg:      Params{RTT: 40 * time.Millisecond, BandwidthBps: 2e7, LossRate: 0.02},
+		ProxyPerPacket: 45 * time.Microsecond,
+	}
+	dt, st, err := Compare(direct, sp, 2_000_000, netsim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duration >= dt.Duration {
+		t.Fatalf("split (%v) not faster than direct (%v) on long lossy path", st.Duration, dt.Duration)
+	}
+}
+
+// TestSplitOverheadCanHurtShortCleanPath reproduces the matching caveat
+// ([44]): on a short clean path the proxy's own costs dominate.
+func TestSplitOverheadCanHurtShortCleanPath(t *testing.T) {
+	direct := Params{RTT: 20 * time.Millisecond, BandwidthBps: 1e8, LossRate: 0}
+	sp := SplitParams{
+		ServerLeg:      Params{RTT: 15 * time.Millisecond, BandwidthBps: 1e8},
+		ClientLeg:      Params{RTT: 5 * time.Millisecond, BandwidthBps: 1e8},
+		ProxyPerPacket: 2 * time.Millisecond, // overloaded proxy
+		ProxyConnSetup: 30 * time.Millisecond,
+	}
+	dt, st, err := Compare(direct, sp, 500_000, netsim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duration <= dt.Duration {
+		t.Fatalf("expensive proxy still beat direct: split %v vs direct %v", st.Duration, dt.Duration)
+	}
+}
+
+func TestSplitValidatesBothLegs(t *testing.T) {
+	sp := SplitParams{
+		ServerLeg: Params{RTT: 10 * time.Millisecond, BandwidthBps: 1e6},
+		ClientLeg: Params{}, // invalid
+	}
+	if _, err := SplitTransferTime(sp, 1000, netsim.NewRNG(1)); err == nil {
+		t.Fatal("invalid client leg accepted")
+	}
+}
+
+func TestHighLossEventuallyCompletes(t *testing.T) {
+	p := Params{RTT: 30 * time.Millisecond, BandwidthBps: 1e7, LossRate: 0.3}
+	tr := mustTransfer(t, p, 100_000, 5)
+	if tr.Duration <= 0 {
+		t.Fatal("transfer under heavy loss returned nonpositive duration")
+	}
+	if tr.Timeouts == 0 && tr.FastRecoveries == 0 {
+		t.Fatal("30% loss produced no loss events")
+	}
+}

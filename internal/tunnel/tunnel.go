@@ -1,0 +1,164 @@
+// Package tunnel implements the VPN-style encapsulation PVNs fall back
+// to when the access network offers no (or only partial) PVN support
+// (§3.3 "coping with unavailability"), and the selective-redirection
+// machinery of Fig 1(c): instead of tunneling everything, only the flows
+// that need a trusted execution environment pay the interdomain detour.
+//
+// The wire format is IP-in-UDP: outer IPv4 + UDP(port 4754) + an 8-byte
+// tunnel header (magic, version, tunnel ID) + the inner IPv4 packet.
+package tunnel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"pvn/internal/packet"
+)
+
+// Port is the UDP port tunnels run over.
+const Port = 4754
+
+// headerLen is the tunnel header size after the UDP header.
+const headerLen = 8
+
+// magic identifies tunnel frames ("PN").
+var magic = [2]byte{0x50, 0x4e}
+
+// Overhead is the per-packet byte cost of tunneling: outer IPv4 (20) +
+// UDP (8) + tunnel header.
+const Overhead = 20 + 8 + headerLen
+
+// Errors.
+var (
+	ErrNotTunnel = errors.New("tunnel: not a tunnel frame")
+	ErrTruncated = errors.New("tunnel: truncated frame")
+)
+
+// Encap wraps an inner IPv4 packet for transport to a tunnel endpoint.
+func Encap(inner []byte, outerSrc, outerDst packet.IPv4Address, tunnelID uint32) ([]byte, error) {
+	hdr := make([]byte, headerLen)
+	hdr[0], hdr[1] = magic[0], magic[1]
+	hdr[2] = 1 // version
+	binary.BigEndian.PutUint32(hdr[3:7], tunnelID)
+
+	ip := &packet.IPv4{Src: outerSrc, Dst: outerDst, Protocol: packet.IPProtoUDP}
+	udp := &packet.UDP{SrcPort: Port, DstPort: Port}
+	udp.SetNetworkLayerForChecksum(ip)
+	payload := append(hdr, inner...)
+	return packet.SerializeToBytes(ip, udp, packet.Payload(payload))
+}
+
+// Decap unwraps a tunnel frame, returning the inner packet and tunnel ID.
+func Decap(outer []byte) (inner []byte, tunnelID uint32, err error) {
+	p := packet.Decode(outer, packet.LayerTypeIPv4)
+	u := p.UDP()
+	if u == nil || u.DstPort != Port {
+		return nil, 0, ErrNotTunnel
+	}
+	payload := u.LayerPayload()
+	if len(payload) < headerLen {
+		return nil, 0, ErrTruncated
+	}
+	if payload[0] != magic[0] || payload[1] != magic[1] {
+		return nil, 0, ErrNotTunnel
+	}
+	id := binary.BigEndian.Uint32(payload[3:7])
+	return payload[headerLen:], id, nil
+}
+
+// Endpoint describes one place a PVN can tunnel to: a nearby
+// PVN-supporting AS, a cloud VM, or the user's home network.
+type Endpoint struct {
+	// Name is the identifier PVNC tunnel actions reference.
+	Name string
+	// Addr is the endpoint's outer address.
+	Addr packet.IPv4Address
+	// ExtraRTT is the interdomain round-trip penalty relative to the
+	// in-network path (§3.2: 10s of ms well connected, 100s poorly).
+	ExtraRTT time.Duration
+	// Trusted marks endpoints suitable for sensitive operations like
+	// TLS interception (Fig 1c).
+	Trusted bool
+}
+
+// Table holds a device's configured tunnel endpoints and usage counters.
+type Table struct {
+	// LocalAddr is the outer source address for encapsulation.
+	LocalAddr packet.IPv4Address
+
+	endpoints map[string]*Endpoint
+	nextID    uint32
+	ids       map[string]uint32
+
+	// Stats per endpoint name.
+	Sent  map[string]int64
+	Bytes map[string]int64
+}
+
+// NewTable builds an empty tunnel table.
+func NewTable(localAddr packet.IPv4Address) *Table {
+	return &Table{
+		LocalAddr: localAddr,
+		endpoints: make(map[string]*Endpoint),
+		ids:       make(map[string]uint32),
+		Sent:      make(map[string]int64),
+		Bytes:     make(map[string]int64),
+	}
+}
+
+// Add registers an endpoint.
+func (t *Table) Add(e *Endpoint) {
+	t.endpoints[e.Name] = e
+	if _, ok := t.ids[e.Name]; !ok {
+		t.nextID++
+		t.ids[e.Name] = t.nextID
+	}
+}
+
+// Endpoint returns the named endpoint, or nil.
+func (t *Table) Endpoint(name string) *Endpoint { return t.endpoints[name] }
+
+// Names returns registered endpoint names (unordered).
+func (t *Table) Names() []string {
+	out := make([]string, 0, len(t.endpoints))
+	for n := range t.endpoints {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Wrap encapsulates an inner packet toward the named endpoint and
+// accounts it.
+func (t *Table) Wrap(name string, inner []byte) ([]byte, *Endpoint, error) {
+	e := t.endpoints[name]
+	if e == nil {
+		return nil, nil, fmt.Errorf("tunnel: unknown endpoint %q", name)
+	}
+	out, err := Encap(inner, t.LocalAddr, e.Addr, t.ids[name])
+	if err != nil {
+		return nil, nil, err
+	}
+	t.Sent[name]++
+	t.Bytes[name] += int64(len(out))
+	return out, e, nil
+}
+
+// BestTrusted returns the trusted endpoint with the lowest ExtraRTT — the
+// "use active measurements to inform the costs of alternative locations"
+// selection (§3.3), with measured cost standing in for probes. ok is
+// false when no trusted endpoint exists.
+func (t *Table) BestTrusted() (*Endpoint, bool) {
+	var best *Endpoint
+	for _, e := range t.endpoints {
+		if !e.Trusted {
+			continue
+		}
+		if best == nil || e.ExtraRTT < best.ExtraRTT ||
+			(e.ExtraRTT == best.ExtraRTT && e.Name < best.Name) {
+			best = e
+		}
+	}
+	return best, best != nil
+}

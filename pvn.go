@@ -1,0 +1,12 @@
+// Package pvn is the root of the Personal Virtual Networks
+// reproduction: a from-scratch implementation of the system proposed in
+// "A Case for Personal Virtual Networks" (Choffnes, HotNets-XV 2016).
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// runnable entry points are under cmd/ and examples/. The root package
+// exists to host the repository-wide benchmark suite (bench_test.go),
+// which regenerates every experiment in EXPERIMENTS.md.
+package pvn
+
+// Version identifies this reproduction build.
+const Version = "1.0.0"
