@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments examples cover clean
+.PHONY: all build vet test race bench experiments examples cover clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Concurrency regression tests (dataplane, middlebox, openflow) need the
+# race detector to mean anything.
+race:
+	$(GO) test -race ./...
 
 # One iteration of every benchmark (experiments E1-E12 + micro-benches).
 bench:

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"pvn/internal/dataplane"
 	"pvn/internal/deployserver"
 	"pvn/internal/discovery"
 	"pvn/internal/middlebox"
@@ -71,7 +72,12 @@ func serveMain(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7474", "API listen address")
 	provider := fs.String("provider", "pvnd-isp", "provider name quoted in offers")
+	dpMode := fs.String("dataplane", "serial", "packet pipeline: serial (single-threaded switch) or sharded (parallel worker pool)")
+	dpShards := fs.Int("shards", 0, "shard/worker count for -dataplane=sharded (0 = GOMAXPROCS)")
 	fs.Parse(args)
+	if *dpMode != "serial" && *dpMode != "sharded" {
+		log.Fatalf("pvnd: -dataplane must be serial or sharded, got %q", *dpMode)
+	}
 
 	start := time.Now()
 	now := func() time.Duration { return time.Since(start) }
@@ -100,6 +106,22 @@ func serveMain(args []string) {
 		},
 	}
 	srv := deployserver.New(policy, sw, rt, now)
+
+	// -dataplane=sharded fronts the switch with the parallel pipeline:
+	// deployments mirror their flow rules into the pipeline's sharded
+	// table (ExtraRules), and chain execution serializes on the shared
+	// middlebox runtime via middlebox.Synchronized.
+	if *dpMode == "sharded" {
+		dp := dataplane.New(dataplane.Config{
+			Shards: *dpShards,
+			Chains: middlebox.Synchronized(rt),
+			Now:    now,
+		})
+		srv.ExtraRules = dp.Table()
+		dp.Start()
+		defer dp.Stop()
+		log.Printf("pvnd: sharded dataplane up: %d shards, batch 32, queue 1024/shard", dp.Shards())
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -1,0 +1,273 @@
+// Package dataplane is the PVN host's parallel packet pipeline: the
+// subsystem that turns the per-packet serial call chain (decode →
+// openflow table lookup → middlebox chain → tunnel/forward) into a
+// sharded worker pool, so one edge host can use every core the access
+// hardware has (ROADMAP: "heavy traffic from millions of users, as fast
+// as the hardware allows"; paper §3.3 cites ClickOS-class per-packet
+// budgets that leave no room for a global lock).
+//
+// Architecture:
+//
+//	Submit ─hash(5-tuple)─▶ per-shard bounded ring ─batch─▶ worker ─▶ hooks
+//	                              │                            │
+//	                        backpressure/drop            flowCache over
+//	                          policy                  COW rule snapshot
+//
+//   - Packets are partitioned by the symmetric packet.Flow hash, so both
+//     directions of a conversation land on the same shard and all
+//     per-flow state (the exact-match flow cache) is owned by exactly one
+//     worker — no locks on the hot path.
+//   - Rule state lives in a ShardedTable: an atomically-published
+//     copy-on-write snapshot written by the control plane
+//     (sdncontroller/deployserver flow mods) and read lock-free by every
+//     worker.
+//   - Workers pull fixed-size batches from their ring to amortize queue
+//     synchronization, and recycle packet buffers through a sync.Pool.
+//   - Queues are bounded; the DropPolicy decides whether overload tail
+//     drops, head drops, or blocks the producer. Memory stays bounded
+//     either way.
+//
+// Middlebox chains: openflow.ChainExecutor implementations are invoked
+// concurrently from worker goroutines. A bare middlebox.Runtime is not
+// goroutine-safe — wrap it in middlebox.Synchronized, or supply
+// per-shard runtime clones via Config.ChainsFor (see the regression
+// tests in internal/middlebox).
+package dataplane
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pvn/internal/openflow"
+	"pvn/internal/packet"
+)
+
+// Config parameterizes a Pipeline. The zero value is usable: GOMAXPROCS
+// shards, batch 32, queue depth 1024, tail drop, no hooks.
+type Config struct {
+	// Shards is the number of queue+worker pairs (one worker owns one
+	// shard). Zero means GOMAXPROCS.
+	Shards int
+	// BatchSize is how many packets a worker drains per queue
+	// acquisition. Zero means 32.
+	BatchSize int
+	// QueueDepth bounds each shard's ring, in packets. Zero means 1024.
+	QueueDepth int
+	// Policy is the overload behaviour. Default DropNewest.
+	Policy DropPolicy
+
+	// Chains executes Middlebox actions and is shared by all shards; it
+	// MUST be goroutine-safe (e.g. middlebox.Synchronized). Nil makes
+	// middlebox actions drops, like openflow.Switch.
+	Chains openflow.ChainExecutor
+	// ChainsFor, when set, overrides Chains with a per-shard executor —
+	// the cloned-per-worker alternative that scales chain execution.
+	ChainsFor func(shard int) openflow.ChainExecutor
+
+	// OnOutput receives forwarded packets. The data slice is only valid
+	// for the duration of the call (the buffer is recycled after).
+	OnOutput func(port uint16, data []byte)
+	// OnTunnel receives packets dispatched to a named tunnel.
+	OnTunnel func(name string, data []byte)
+	// OnController receives table-miss punts.
+	OnController func(inPort uint16, data []byte)
+	// OnExpired observes entries evicted by idle/hard timeouts.
+	OnExpired func(*openflow.FlowEntry)
+	// All four hooks are called from worker goroutines, concurrently.
+
+	// Now supplies simulated time for counters/timeouts/meters; nil
+	// means time zero, like openflow.NewSwitch.
+	Now func() time.Duration
+}
+
+// shard is one queue + worker + privately-owned flow state.
+type shard struct {
+	id       int
+	queue    *ring
+	cache    *flowCache
+	chains   openflow.ChainExecutor
+	counters shardCounters
+}
+
+// Pipeline is the running dataplane: N shards fed by Submit, draining
+// through workers into the configured hooks.
+type Pipeline struct {
+	cfg    Config
+	table  *ShardedTable
+	shards []*shard
+
+	meterMu sync.Mutex
+	meters  map[string]*openflow.Meter
+
+	bufPool sync.Pool
+
+	inFlight     atomic.Int64
+	sinceExpire  atomic.Int64
+	expireEveryN int64
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a pipeline over its own ShardedTable. Install rules through
+// Table() (it implements openflow.RuleTable, so FlowMod.Apply works).
+func New(cfg Config) *Pipeline {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() time.Duration { return 0 }
+	}
+	p := &Pipeline{
+		cfg:          cfg,
+		table:        NewShardedTable(),
+		meters:       make(map[string]*openflow.Meter),
+		expireEveryN: 4096,
+	}
+	p.bufPool.New = func() any { b := make([]byte, 0, 2048); return &b }
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{id: i, queue: newRing(cfg.QueueDepth, cfg.Policy), cache: newFlowCache()}
+		if cfg.ChainsFor != nil {
+			sh.chains = cfg.ChainsFor(i)
+		} else {
+			sh.chains = cfg.Chains
+		}
+		p.shards = append(p.shards, sh)
+	}
+	return p
+}
+
+// Table exposes the rule state for control-plane updates.
+func (p *Pipeline) Table() *ShardedTable { return p.table }
+
+// AddMeter installs a named meter. Meters are shared across shards and
+// the pipeline serializes Shape calls internally.
+func (p *Pipeline) AddMeter(id string, m *openflow.Meter) {
+	p.meterMu.Lock()
+	p.meters[id] = m
+	p.meterMu.Unlock()
+}
+
+// Shards reports the configured shard count.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// Start launches one worker per shard.
+func (p *Pipeline) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	for _, sh := range p.shards {
+		p.wg.Add(1)
+		go p.work(sh)
+	}
+}
+
+// Stop closes the queues, lets workers drain what is already enqueued,
+// and waits for them to exit. The pipeline cannot be restarted.
+func (p *Pipeline) Stop() {
+	for _, sh := range p.shards {
+		sh.queue.close()
+	}
+	if p.started {
+		p.wg.Wait()
+	}
+}
+
+// Drain blocks until every admitted packet has been processed. Only
+// meaningful while workers are running.
+func (p *Pipeline) Drain() {
+	for p.inFlight.Load() != 0 {
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// Submit hands one raw IPv4 packet to the pipeline. The caller keeps
+// ownership of data: it is copied into a pooled buffer. It reports
+// whether the packet was admitted (false = backpressure drop).
+func (p *Pipeline) Submit(data []byte, inPort uint16) bool {
+	key, ok := flowKeyOf(data, inPort)
+	sh := p.shards[int(key.flow.FastHash()%uint64(len(p.shards)))]
+
+	bp := p.bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], data...)
+	it := item{buf: buf, data: buf, inPort: inPort, key: key, ok: ok, enq: time.Now().UnixNano()}
+
+	p.inFlight.Add(1)
+	admitted, evicted, hasEvicted := sh.queue.push(it)
+	if hasEvicted {
+		p.release(evicted.buf)
+		p.inFlight.Add(-1)
+		sh.counters.dropped.Add(1)
+	}
+	if !admitted {
+		p.release(buf)
+		p.inFlight.Add(-1)
+		sh.counters.dropped.Add(1)
+		return false
+	}
+	sh.counters.enqueued.Add(1)
+	return true
+}
+
+func (p *Pipeline) release(buf []byte) {
+	if cap(buf) <= 64<<10 {
+		b := buf[:0]
+		p.bufPool.Put(&b)
+	}
+}
+
+// flowKeyOf extracts the 5-tuple cache key from raw IPv4 bytes with a
+// minimal header parse (no full packet.Decode on the submit path). ok is
+// false for non-IPv4 or truncated packets; those all land on one shard
+// and skip the flow cache.
+func flowKeyOf(data []byte, inPort uint16) (cacheKey, bool) {
+	key := cacheKey{inPort: inPort}
+	if len(data) < 20 || data[0]>>4 != 4 {
+		return key, false
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl {
+		return key, false
+	}
+	f := packet.Flow{Proto: data[9]}
+	copy(f.Src.Addr[:], data[12:16])
+	copy(f.Dst.Addr[:], data[16:20])
+	if (f.Proto == packet.IPProtoTCP || f.Proto == packet.IPProtoUDP) && len(data) >= ihl+4 {
+		f.Src.Port = uint16(data[ihl])<<8 | uint16(data[ihl+1])
+		f.Dst.Port = uint16(data[ihl+2])<<8 | uint16(data[ihl+3])
+	}
+	key.flow = f
+	return key, true
+}
+
+// maybeExpire runs table expiry roughly every expireEveryN processed
+// packets, pipeline-wide, so timeouts fire without a dedicated timer
+// goroutine (mirroring the serial switch's expire-per-packet, amortized).
+func (p *Pipeline) maybeExpire() {
+	if p.sinceExpire.Add(1)%p.expireEveryN != 0 {
+		return
+	}
+	for _, fe := range p.table.Expire(p.cfg.Now()) {
+		if p.cfg.OnExpired != nil {
+			p.cfg.OnExpired(fe)
+		}
+	}
+}
+
+// ExpireNow forces an expiry pass immediately.
+func (p *Pipeline) ExpireNow() {
+	for _, fe := range p.table.Expire(p.cfg.Now()) {
+		if p.cfg.OnExpired != nil {
+			p.cfg.OnExpired(fe)
+		}
+	}
+}

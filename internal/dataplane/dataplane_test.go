@@ -1,0 +1,420 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pvn/internal/middlebox"
+	"pvn/internal/openflow"
+	"pvn/internal/packet"
+	"pvn/internal/trace"
+)
+
+// passBox is a minimal middlebox for pipeline tests.
+type passBox struct{ n int64 }
+
+func (b *passBox) Name() string { return "pass" }
+func (b *passBox) Process(ctx *middlebox.Context, data []byte) ([]byte, middlebox.Verdict, error) {
+	b.n++
+	return data, middlebox.VerdictPass, nil
+}
+
+func buildRuntime(t testing.TB) *middlebox.Runtime {
+	t.Helper()
+	rt := middlebox.NewRuntime(func() time.Duration { return time.Second })
+	rt.Register(&middlebox.Spec{Type: "pass", New: func(map[string]string) (middlebox.Box, error) {
+		return &passBox{}, nil
+	}})
+	rt.Now = func() time.Duration { return 0 }
+	inst, err := rt.Instantiate("u", "pass", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Now = func() time.Duration { return time.Second }
+	if _, err := rt.BuildChain("u", "c", []string{inst.ID}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// installRules populates any RuleTable with the canonical test policy:
+// dport 80 forward, 443 tunnel, 25 drop, 8080 via chain then forward;
+// everything else punts to the controller (table miss).
+func installRules(t testing.TB, rt openflow.RuleTable) {
+	t.Helper()
+	mk := func(dport uint16, prio int, actions ...openflow.Action) {
+		rt.Install(&openflow.FlowEntry{
+			Priority: prio,
+			Match:    openflow.Match{Fields: openflow.FieldProto | openflow.FieldDstPort, Proto: packet.IPProtoTCP, DstPort: dport},
+			Actions:  actions,
+			Cookie:   7,
+		}, 0)
+	}
+	mk(80, 100, openflow.Output(1))
+	mk(443, 90, openflow.Tunnel("wg0"))
+	mk(25, 80, openflow.Drop())
+	mk(8080, 70, openflow.ToMiddlebox("u/c"), openflow.Output(1))
+}
+
+// frames builds n TCP packets spread over many flows and the four rule
+// classes above.
+func frames(t testing.TB, n int) [][]byte {
+	t.Helper()
+	dports := []uint16{80, 443, 25, 8080, 9999}
+	src := packet.MustParseIPv4("10.0.0.5")
+	dst := packet.MustParseIPv4("93.184.216.34")
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		ip := &packet.IPv4{Src: src, Dst: dst, Protocol: packet.IPProtoTCP}
+		tcp := &packet.TCP{SrcPort: uint16(40000 + i%64), DstPort: dports[i%len(dports)]}
+		tcp.SetNetworkLayerForChecksum(ip)
+		data, err := packet.SerializeToBytes(ip, tcp, packet.Payload("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+// TestPipelineMatchesSerial checks that the sharded pipeline reaches the
+// same verdicts as the serial openflow.Switch on the same rule set and
+// traffic.
+func TestPipelineMatchesSerial(t *testing.T) {
+	const n = 1000
+	pkts := frames(t, n)
+
+	// Serial reference.
+	sw := openflow.NewSwitch("ref", nil)
+	sw.Chains = buildRuntime(t)
+	installRules(t, sw.Table)
+	var ref ShardStats
+	for _, data := range pkts {
+		switch d := sw.Process(data, 0); d.Verdict {
+		case openflow.VerdictOutput:
+			ref.Outputs++
+		case openflow.VerdictDrop:
+			ref.Drops++
+		case openflow.VerdictTunnel:
+			ref.Tunnels++
+		case openflow.VerdictController:
+			ref.PacketIns++
+		}
+	}
+
+	// Sharded pipeline, with every hook counting deliveries.
+	var mu sync.Mutex
+	hookCounts := map[string]int{}
+	hook := func(kind string) func() {
+		return func() { mu.Lock(); hookCounts[kind]++; mu.Unlock() }
+	}
+	outHook, tunHook, ctlHook := hook("output"), hook("tunnel"), hook("controller")
+	p := New(Config{
+		Shards: 4,
+		Chains: middlebox.Synchronized(buildRuntime(t)),
+		OnOutput: func(port uint16, data []byte) {
+			if port != 1 {
+				t.Errorf("output port = %d, want 1", port)
+			}
+			outHook()
+		},
+		OnTunnel: func(name string, data []byte) {
+			if name != "wg0" {
+				t.Errorf("tunnel = %q, want wg0", name)
+			}
+			tunHook()
+		},
+		OnController: func(inPort uint16, data []byte) { ctlHook() },
+	})
+	installRules(t, p.Table())
+	p.Start()
+	for _, data := range pkts {
+		if !p.Submit(data, 0) {
+			t.Fatal("unexpected backpressure drop")
+		}
+	}
+	p.Drain()
+	p.Stop()
+
+	got := p.Stats().Total()
+	if got.Processed != n {
+		t.Fatalf("processed = %d, want %d", got.Processed, n)
+	}
+	if got.Outputs != ref.Outputs || got.Drops != ref.Drops ||
+		got.Tunnels != ref.Tunnels || got.PacketIns != ref.PacketIns {
+		t.Errorf("verdicts diverge: pipeline %+v vs serial out=%d drop=%d tun=%d punt=%d",
+			got, ref.Outputs, ref.Drops, ref.Tunnels, ref.PacketIns)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(hookCounts["output"]) != got.Outputs || int64(hookCounts["tunnel"]) != got.Tunnels ||
+		int64(hookCounts["controller"]) != got.PacketIns {
+		t.Errorf("hook counts %v disagree with stats %+v", hookCounts, got)
+	}
+	// With 64 distinct flows and 1000 packets the exact-match cache must
+	// carry most lookups.
+	if got.CacheHits < n/2 {
+		t.Errorf("cache hits = %d, want >= %d", got.CacheHits, n/2)
+	}
+	// Billing parity: both tables counted the same matched traffic.
+	refPkts, _ := sw.Table.StatsByCookie(7)
+	gotPkts, _ := p.Table().StatsByCookie(7)
+	if refPkts != gotPkts {
+		t.Errorf("cookie stats: pipeline %d vs serial %d", gotPkts, refPkts)
+	}
+}
+
+// TestBackpressure checks the bounded-queue overload policies.
+func TestBackpressure(t *testing.T) {
+	pkts := frames(t, 1) // one flow -> one shard
+	for _, tc := range []struct {
+		policy   DropPolicy
+		admitted bool
+	}{{DropNewest, false}, {DropOldest, true}} {
+		p := New(Config{Shards: 2, QueueDepth: 8, Policy: tc.policy})
+		installRules(t, p.Table())
+		// Workers not started: the shard queue fills at 8.
+		for i := 0; i < 8; i++ {
+			if !p.Submit(pkts[0], 0) {
+				t.Fatalf("policy %d: early drop at %d", tc.policy, i)
+			}
+		}
+		for i := 0; i < 12; i++ {
+			if got := p.Submit(pkts[0], 0); got != tc.admitted {
+				t.Fatalf("policy %d: overflow Submit = %v, want %v", tc.policy, got, tc.admitted)
+			}
+		}
+		p.Start()
+		p.Drain()
+		p.Stop()
+		st := p.Stats().Total()
+		if st.Dropped != 12 {
+			t.Errorf("policy %d: dropped = %d, want 12", tc.policy, st.Dropped)
+		}
+		if st.Processed != 8 {
+			t.Errorf("policy %d: processed = %d, want 8", tc.policy, st.Processed)
+		}
+		if st.QueueDepth != 0 {
+			t.Errorf("policy %d: residual queue depth %d", tc.policy, st.QueueDepth)
+		}
+	}
+}
+
+// TestBlockPolicy checks that Block never drops: slow consumer, fast
+// producer, everything still processed.
+func TestBlockPolicy(t *testing.T) {
+	p := New(Config{Shards: 1, QueueDepth: 4, BatchSize: 2, Policy: Block})
+	installRules(t, p.Table())
+	p.Start()
+	pkts := frames(t, 1)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if !p.Submit(pkts[0], 0) {
+			t.Fatal("Block policy dropped a packet")
+		}
+	}
+	p.Drain()
+	p.Stop()
+	if st := p.Stats().Total(); st.Processed != n || st.Dropped != 0 {
+		t.Errorf("processed=%d dropped=%d, want %d/0", st.Processed, st.Dropped, n)
+	}
+}
+
+// TestRuleUpdateMidStream installs a higher-priority rule while traffic
+// flows and checks the snapshot swap takes effect (and invalidates the
+// per-shard caches).
+func TestRuleUpdateMidStream(t *testing.T) {
+	p := New(Config{Shards: 2})
+	installRules(t, p.Table())
+	p.Start()
+	defer p.Stop()
+	pkts := frames(t, 5) // includes a dport-80 packet matching Output(1)
+	web := pkts[0]
+
+	for i := 0; i < 100; i++ {
+		p.Submit(web, 0)
+	}
+	p.Drain()
+	before := p.Stats().Total()
+	if before.Outputs != 100 {
+		t.Fatalf("outputs = %d, want 100", before.Outputs)
+	}
+
+	// Control plane flips port 80 to drop, at higher priority, via the
+	// same FlowMod path sdncontroller uses.
+	fm := openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Priority: 200,
+		Match:    openflow.Match{Fields: openflow.FieldProto | openflow.FieldDstPort, Proto: packet.IPProtoTCP, DstPort: 80},
+		Actions:  []openflow.Action{openflow.Drop()},
+		Cookie:   99,
+	}
+	fm.Apply(p.Table(), 0)
+
+	for i := 0; i < 100; i++ {
+		p.Submit(web, 0)
+	}
+	p.Drain()
+	after := p.Stats().Total()
+	if after.Outputs != before.Outputs {
+		t.Errorf("outputs moved after drop rule: %d -> %d", before.Outputs, after.Outputs)
+	}
+	if got := after.Drops - before.Drops; got != 100 {
+		t.Errorf("drops = %d, want 100", got)
+	}
+}
+
+// TestExpiry checks idle-timeout eviction through the pipeline's expiry
+// path, including final counters on the evicted entry.
+func TestExpiry(t *testing.T) {
+	now := int64(0) // ns, mutated between quiesced phases only
+	p := New(Config{Now: func() time.Duration { return time.Duration(now) }})
+	var expired []*openflow.FlowEntry
+	p.cfg.OnExpired = func(e *openflow.FlowEntry) { expired = append(expired, e) }
+	p.Table().Install(&openflow.FlowEntry{
+		Priority:    10,
+		Match:       openflow.Match{}, // match-any
+		Actions:     []openflow.Action{openflow.Output(1)},
+		Cookie:      5,
+		IdleTimeout: time.Second,
+	}, 0)
+	p.Start()
+	pkts := frames(t, 1)
+	for i := 0; i < 10; i++ {
+		p.Submit(pkts[0], 0)
+	}
+	p.Drain()
+	now = int64(2 * time.Second)
+	p.ExpireNow()
+	p.Stop()
+	if len(expired) != 1 {
+		t.Fatalf("expired %d entries, want 1", len(expired))
+	}
+	if expired[0].Packets != 10 {
+		t.Errorf("expired entry packets = %d, want 10", expired[0].Packets)
+	}
+	if p.Table().Len() != 0 {
+		t.Errorf("table len = %d after expiry", p.Table().Len())
+	}
+}
+
+// TestPerShardChainClones runs chain traffic with a per-worker Runtime
+// clone per shard — the scaling alternative to middlebox.Synchronized —
+// and checks every packet traversed some clone exactly once.
+func TestPerShardChainClones(t *testing.T) {
+	boxes := make([]*passBox, 4)
+	p := New(Config{
+		Shards: 4,
+		ChainsFor: func(shard int) openflow.ChainExecutor {
+			rt := buildRuntime(t)
+			boxes[shard] = chainBox(t, rt)
+			return rt
+		},
+	})
+	p.Table().Install(&openflow.FlowEntry{
+		Priority: 10,
+		Match:    openflow.Match{},
+		Actions:  []openflow.Action{openflow.ToMiddlebox("u/c"), openflow.Output(1)},
+	}, 0)
+	p.Start()
+	const n = 400
+	pkts := frames(t, n)
+	for _, d := range pkts {
+		p.Submit(d, 0)
+	}
+	p.Drain()
+	p.Stop()
+	var total int64
+	for _, b := range boxes {
+		if b != nil {
+			total += b.n
+		}
+	}
+	if total != n {
+		t.Errorf("chain traversals = %d, want %d", total, n)
+	}
+	if st := p.Stats().Total(); st.Outputs != n {
+		t.Errorf("outputs = %d, want %d", st.Outputs, n)
+	}
+}
+
+// chainBox digs the passBox instance back out of a runtime built by
+// buildRuntime.
+func chainBox(t testing.TB, rt *middlebox.Runtime) *passBox {
+	t.Helper()
+	insts := rt.InstancesOf("u")
+	if len(insts) != 1 {
+		t.Fatalf("expected 1 instance, got %d", len(insts))
+	}
+	b, ok := insts[0].Box.(*passBox)
+	if !ok {
+		t.Fatalf("unexpected box type %T", insts[0].Box)
+	}
+	return b
+}
+
+// TestTraceWorkload pushes a generated web-trace workload through the
+// pipeline, tying the dataplane to the experiment traffic generators.
+func TestTraceWorkload(t *testing.T) {
+	p := New(Config{Shards: 4})
+	installRules(t, p.Table())
+	p.Start()
+	defer p.Stop()
+	g := trace.NewWebGen(3)
+	dev := packet.MustParseIPv4("10.0.0.5")
+	web := packet.MustParseIPv4("93.184.216.34")
+	n := 0
+	for i := 0; i < 20; i++ {
+		page := g.Page("site.example")
+		for j, o := range page.Objects {
+			data, err := trace.HTTPRequestPacket(dev, web, uint16(30000+i*64+j), o.Host, o.Path, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Submit(data, 0)
+			n++
+		}
+	}
+	p.Drain()
+	st := p.Stats().Total()
+	if st.Processed != int64(n) {
+		t.Fatalf("processed %d of %d", st.Processed, n)
+	}
+	if st.Outputs != int64(n) { // all HTTP requests hit the dport-80 rule
+		t.Errorf("outputs = %d, want %d", st.Outputs, n)
+	}
+	if d := p.LatencyDist(); d.N() == 0 && n >= latencySampleEvery {
+		t.Error("no latency samples recorded")
+	}
+}
+
+// TestShardAffinity checks both directions of a flow land on one shard,
+// so bidirectional state stays worker-private.
+func TestShardAffinity(t *testing.T) {
+	fwd, ok1 := flowKeyOf(mustFrame(t, "10.0.0.5", "93.184.216.34", 40000, 80), 0)
+	rev, ok2 := flowKeyOf(mustFrame(t, "93.184.216.34", "10.0.0.5", 80, 40000), 0)
+	if !ok1 || !ok2 {
+		t.Fatal("flow key extraction failed")
+	}
+	if rev.flow != fwd.flow.Reverse() {
+		t.Fatalf("raw parse got %v, want reverse of %v", rev.flow, fwd.flow)
+	}
+	for _, shards := range []uint64{1, 2, 4, 8, 16} {
+		if fwd.flow.FastHash()%shards != rev.flow.FastHash()%shards {
+			t.Errorf("flow and reverse on different shards at %d shards", shards)
+		}
+	}
+}
+
+func mustFrame(t testing.TB, src, dst string, sport, dport uint16) []byte {
+	t.Helper()
+	ip := &packet.IPv4{Src: packet.MustParseIPv4(src), Dst: packet.MustParseIPv4(dst), Protocol: packet.IPProtoTCP}
+	tcp := &packet.TCP{SrcPort: sport, DstPort: dport}
+	tcp.SetNetworkLayerForChecksum(ip)
+	data, err := packet.SerializeToBytes(ip, tcp, packet.Payload("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

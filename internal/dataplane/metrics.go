@@ -1,0 +1,137 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pvn/internal/netsim"
+)
+
+// shardCounters is the hot-path metrics block for one shard. Producers
+// touch the enqueue side; exactly one worker touches the rest, but
+// everything is atomic so Stats can be read at any time (and so the
+// race detector stays happy). The pad keeps adjacent shards' counters
+// off the same cache line.
+type shardCounters struct {
+	enqueued  atomic.Int64
+	dropped   atomic.Int64 // queue overflow drops
+	processed atomic.Int64
+	bytes     atomic.Int64
+	batches   atomic.Int64
+	cacheHits atomic.Int64
+
+	// Verdict counts.
+	outputs   atomic.Int64
+	drops     atomic.Int64 // action/policy drops
+	tunnels   atomic.Int64
+	packetIns atomic.Int64
+
+	// Cumulative per-stage wall-clock nanoseconds.
+	decodeNs atomic.Int64
+	lookupNs atomic.Int64
+	chainNs  atomic.Int64
+	totalNs  atomic.Int64
+
+	// Per-packet latency reservoir, sampled every latencySampleEvery
+	// packets, bounded to latencyReservoir entries.
+	latMu      sync.Mutex
+	latSamples []float64
+
+	_ [40]byte // pad to its own cache line region
+}
+
+const (
+	latencySampleEvery = 64
+	latencyReservoir   = 4096
+)
+
+func (c *shardCounters) sampleLatency(d time.Duration) {
+	c.latMu.Lock()
+	if len(c.latSamples) < latencyReservoir {
+		c.latSamples = append(c.latSamples, float64(d)/float64(time.Microsecond))
+	}
+	c.latMu.Unlock()
+}
+
+// ShardStats is a point-in-time copy of one shard's counters.
+type ShardStats struct {
+	Enqueued, Dropped, Processed, Batches int64
+	Bytes                                 int64
+	CacheHits                             int64
+	Outputs, Drops, Tunnels, PacketIns    int64
+	QueueDepth                            int
+	DecodeNs, LookupNs, ChainNs, TotalNs  int64
+}
+
+// Stats aggregates the pipeline's per-shard counters.
+type Stats struct {
+	Shards []ShardStats
+}
+
+// Total sums the per-shard rows (QueueDepth sums occupancy).
+func (s Stats) Total() ShardStats {
+	var t ShardStats
+	for _, sh := range s.Shards {
+		t.Enqueued += sh.Enqueued
+		t.Dropped += sh.Dropped
+		t.Processed += sh.Processed
+		t.Batches += sh.Batches
+		t.Bytes += sh.Bytes
+		t.CacheHits += sh.CacheHits
+		t.Outputs += sh.Outputs
+		t.Drops += sh.Drops
+		t.Tunnels += sh.Tunnels
+		t.PacketIns += sh.PacketIns
+		t.QueueDepth += sh.QueueDepth
+		t.DecodeNs += sh.DecodeNs
+		t.LookupNs += sh.LookupNs
+		t.ChainNs += sh.ChainNs
+		t.TotalNs += sh.TotalNs
+	}
+	return t
+}
+
+func (c *shardCounters) snapshot(depth int) ShardStats {
+	return ShardStats{
+		Enqueued:   c.enqueued.Load(),
+		Dropped:    c.dropped.Load(),
+		Processed:  c.processed.Load(),
+		Batches:    c.batches.Load(),
+		Bytes:      c.bytes.Load(),
+		CacheHits:  c.cacheHits.Load(),
+		Outputs:    c.outputs.Load(),
+		Drops:      c.drops.Load(),
+		Tunnels:    c.tunnels.Load(),
+		PacketIns:  c.packetIns.Load(),
+		QueueDepth: depth,
+		DecodeNs:   c.decodeNs.Load(),
+		LookupNs:   c.lookupNs.Load(),
+		ChainNs:    c.chainNs.Load(),
+		TotalNs:    c.totalNs.Load(),
+	}
+}
+
+// Stats returns a point-in-time copy of every shard's counters.
+func (p *Pipeline) Stats() Stats {
+	out := Stats{Shards: make([]ShardStats, len(p.shards))}
+	for i, sh := range p.shards {
+		out.Shards[i] = sh.counters.snapshot(sh.queue.depth())
+	}
+	return out
+}
+
+// LatencyDist merges the sampled per-packet pipeline latencies (queue
+// wait + processing, in microseconds) of all shards into a
+// netsim.Dist, the summary type every experiment reports with.
+func (p *Pipeline) LatencyDist() *netsim.Dist {
+	var d netsim.Dist
+	for _, sh := range p.shards {
+		sh.counters.latMu.Lock()
+		for _, v := range sh.counters.latSamples {
+			d.Add(v)
+		}
+		sh.counters.latMu.Unlock()
+	}
+	return &d
+}

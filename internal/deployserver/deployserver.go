@@ -51,6 +51,10 @@ type Server struct {
 	// may carry a cloud-storage URI instead of inline source, §3.1).
 	// Nil means URI-based requests are refused.
 	FetchPVNC func(uri string) (string, error)
+	// ExtraRules, when non-nil, receives every flow-rule install/removal
+	// in addition to Switch.Table — how cmd/pvnd mirrors deployments into
+	// the sharded dataplane's table when -dataplane=sharded.
+	ExtraRules openflow.RuleTable
 	// DevicePort/UpstreamPort are the compile targets.
 	DevicePort, UpstreamPort uint16
 
@@ -165,6 +169,9 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 			s.Runtime.RemoveChain(owner, name)
 		}
 		s.Switch.Table.RemoveByCookie(cookie)
+		if s.ExtraRules != nil {
+			s.ExtraRules.RemoveByCookie(cookie)
+		}
 	}
 	for _, plan := range compiled.Middleboxes {
 		inst, err := s.Runtime.Instantiate(cfg.Owner, plan.Type, plan.Config)
@@ -196,6 +203,9 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 	now := s.Now()
 	for i := range compiled.FlowMods {
 		compiled.FlowMods[i].Apply(s.Switch.Table, now)
+		if s.ExtraRules != nil {
+			compiled.FlowMods[i].Apply(s.ExtraRules, now)
+		}
 	}
 
 	s.deployments[req.DeviceID] = dep
@@ -230,6 +240,9 @@ func (s *Server) Teardown(deviceID string) (packets, bytes int64, err error) {
 	}
 	packets, bytes = s.Switch.Table.StatsByCookie(dep.Cookie)
 	s.Switch.Table.RemoveByCookie(dep.Cookie)
+	if s.ExtraRules != nil {
+		s.ExtraRules.RemoveByCookie(dep.Cookie)
+	}
 	for _, ch := range dep.Chains {
 		owner, name, _ := cutChain(ch)
 		s.Runtime.RemoveChain(owner, name)

@@ -47,6 +47,13 @@ const (
 )
 
 // Context gives a middlebox controlled access to its environment.
+//
+// Concurrency: a Context is per-packet scratch state, created by the
+// runtime for one Box.Process call and used from exactly one goroutine.
+// It must not be retained across calls. Because Alert writes into the
+// shared runtime, a chain instance — and the Runtime hosting it — is
+// not goroutine-safe either: concurrent dataplane workers must either
+// serialize through Synchronized or run per-worker Runtime clones.
 type Context struct {
 	// Owner is the user the instance belongs to.
 	Owner string

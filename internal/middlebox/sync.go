@@ -1,0 +1,42 @@
+package middlebox
+
+import (
+	"sync"
+	"time"
+)
+
+// SyncExecutor makes one Runtime shareable by concurrent dataplane
+// workers by serializing chain execution on a mutex.
+//
+// A bare Runtime is NOT goroutine-safe: ExecuteChain mutates instance
+// counters, box state and the alert log without synchronization, and
+// each Context it creates is a single-goroutine, single-packet scratch
+// object. Callers therefore have exactly two safe options, both
+// exercised by the dataplane's regression tests:
+//
+//   - wrap the shared Runtime in a SyncExecutor (correct, but chain
+//     execution becomes the serial section of the pipeline), or
+//   - give every worker its own Runtime clone (scales linearly; see
+//     dataplane.Config.ChainsFor), keeping per-instance state
+//     worker-private.
+type SyncExecutor struct {
+	mu sync.Mutex
+	rt *Runtime
+}
+
+// Synchronized wraps rt so ExecuteChain may be called from any number of
+// goroutines.
+func Synchronized(rt *Runtime) *SyncExecutor { return &SyncExecutor{rt: rt} }
+
+// ExecuteChain implements openflow.ChainExecutor.
+func (s *SyncExecutor) ExecuteChain(chain string, data []byte) ([]byte, time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt.ExecuteChain(chain, data)
+}
+
+// Runtime returns the wrapped runtime for control-plane configuration
+// (instantiation, chain building). Those calls must not race with
+// ExecuteChain; perform them before traffic starts or behind the same
+// coordination that quiesces the pipeline.
+func (s *SyncExecutor) Runtime() *Runtime { return s.rt }

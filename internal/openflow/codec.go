@@ -54,8 +54,9 @@ type FlowMod struct {
 }
 
 // Apply executes the mod against a table at the given simulated time. It
-// returns how many entries were affected.
-func (fm *FlowMod) Apply(t *FlowTable, now time.Duration) int {
+// returns how many entries were affected. Any RuleTable works: the
+// legacy FlowTable or the sharded dataplane table.
+func (fm *FlowMod) Apply(t RuleTable, now time.Duration) int {
 	switch fm.Command {
 	case FlowAdd:
 		t.Install(&FlowEntry{

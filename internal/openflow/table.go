@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,13 +37,25 @@ func (e *FlowEntry) String() string {
 	return fmt.Sprintf("prio=%d %s -> %v (pkts=%d)", e.Priority, e.Match.String(), e.Actions, e.Packets)
 }
 
+// RuleTable is the table surface flow mods and the deployment pipeline
+// drive. Both the legacy FlowTable and the dataplane's ShardedTable
+// implement it, so control-plane code is agnostic to which data plane
+// is running.
+type RuleTable interface {
+	Install(e *FlowEntry, now time.Duration)
+	RemoveByCookie(cookie uint64) int
+	StatsByCookie(cookie uint64) (packets, bytes int64)
+	Len() int
+}
+
 // FlowTable is a priority-ordered rule set. It is safe for concurrent
-// use: the data plane (Lookup/Expire) and the control plane
-// (Install/RemoveByCookie, possibly arriving over a controller channel
-// on another goroutine) serialize on an internal mutex, exactly the
+// use: lookups from many dataplane workers proceed under a shared read
+// lock with atomic counter updates, while the (rare) control-plane
+// writes (Install/RemoveByCookie/Expire, possibly arriving over a
+// controller channel on another goroutine) take the write lock — the
 // boundary a hardware table's driver would own.
 type FlowTable struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries []*FlowEntry
 	nextSeq uint64
 	// MissActions run on table miss. Default: punt to controller. Set
@@ -58,16 +71,16 @@ func NewFlowTable() *FlowTable {
 
 // Len returns the number of installed entries.
 func (t *FlowTable) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.entries)
 }
 
 // Entries returns the entries in match order (highest priority first).
 // The returned entries are live: their counters may keep changing.
 func (t *FlowTable) Entries() []*FlowEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]*FlowEntry, len(t.entries))
 	copy(out, t.entries)
 	return out
@@ -81,7 +94,7 @@ func (t *FlowTable) Install(e *FlowEntry, now time.Duration) {
 	e.seq = t.nextSeq
 	t.nextSeq++
 	e.installedAt = now
-	e.lastUsed = now
+	atomic.StoreInt64((*int64)(&e.lastUsed), int64(now))
 	t.entries = append(t.entries, e)
 	sort.SliceStable(t.entries, func(i, j int) bool {
 		if t.entries[i].Priority != t.entries[j].Priority {
@@ -92,15 +105,17 @@ func (t *FlowTable) Install(e *FlowEntry, now time.Duration) {
 }
 
 // Lookup returns the actions for the packet summary and updates counters.
-// Misses return the table's MissActions and a nil entry.
+// Misses return the table's MissActions and a nil entry. Concurrent
+// lookups share a read lock and bump counters atomically, so dataplane
+// workers never serialize against each other — only against rule writes.
 func (t *FlowTable) Lookup(f PacketFields, size int, now time.Duration) ([]Action, *FlowEntry) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, e := range t.entries {
 		if e.Match.Matches(f) {
-			e.Packets++
-			e.Bytes += int64(size)
-			e.lastUsed = now
+			atomic.AddInt64(&e.Packets, 1)
+			atomic.AddInt64(&e.Bytes, int64(size))
+			atomic.StoreInt64((*int64)(&e.lastUsed), int64(now))
 			return e.Actions, e
 		}
 	}
@@ -119,7 +134,7 @@ func (t *FlowTable) Expire(now time.Duration) []*FlowEntry {
 		if e.HardTimeout > 0 && now-e.installedAt >= e.HardTimeout {
 			dead = true
 		}
-		if e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout {
+		if e.IdleTimeout > 0 && now-time.Duration(atomic.LoadInt64((*int64)(&e.lastUsed))) >= e.IdleTimeout {
 			dead = true
 		}
 		if dead {
@@ -153,12 +168,12 @@ func (t *FlowTable) RemoveByCookie(cookie uint64) int {
 // StatsByCookie sums packet/byte counters over entries with the cookie,
 // the data source for usage-based billing.
 func (t *FlowTable) StatsByCookie(cookie uint64) (packets, bytes int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, e := range t.entries {
 		if e.Cookie == cookie {
-			packets += e.Packets
-			bytes += e.Bytes
+			packets += atomic.LoadInt64(&e.Packets)
+			bytes += atomic.LoadInt64(&e.Bytes)
 		}
 	}
 	return packets, bytes
