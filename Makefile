@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples cover clean
+.PHONY: all build vet test race test-race check bench experiments examples cover clean
 
 all: build vet test
 
@@ -19,6 +19,16 @@ test:
 # race detector to mean anything.
 race:
 	$(GO) test -race ./...
+
+# Discovery→deploy lifecycle suite under the race detector: the session
+# state machine, the locked deployserver (concurrent HandleDM / deploy /
+# teardown), and the deterministic fault-injection tests. Faster than a
+# full `make race` and targeted at the lifecycle code paths.
+test-race:
+	$(GO) test -race ./internal/discovery/ ./internal/deployserver/ ./internal/netsim/ ./cmd/pvnd/
+
+# The pre-merge gate: build, vet, full tests, lifecycle race pass.
+check: build vet test test-race
 
 # One iteration of every benchmark (experiments E1-E12 + micro-benches).
 bench:

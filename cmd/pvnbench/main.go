@@ -115,6 +115,13 @@ var all = []experiment{
 		}
 		return experiments.E12(p)
 	}},
+	{"E13", "lifecycle under loss: retries, leases, fallback", func(q bool) *experiments.Result {
+		p := experiments.DefaultE13
+		if q {
+			p.Devices = 8
+		}
+		return experiments.E13(p)
+	}},
 }
 
 func main() {

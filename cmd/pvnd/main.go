@@ -20,7 +20,6 @@ import (
 	"log"
 	"net"
 	"os"
-	"sync"
 	"time"
 
 	"pvn/internal/dataplane"
@@ -29,13 +28,15 @@ import (
 	"pvn/internal/middlebox"
 	"pvn/internal/middlebox/mbx"
 	"pvn/internal/openflow"
+	"pvn/internal/packet"
 	"pvn/internal/pki"
 	"pvn/internal/pvnc"
+	"pvn/internal/tunnel"
 )
 
 // request is the daemon's wire request envelope.
 type request struct {
-	Type     string                   `json:"type"` // dm | deploy | manifest | usage | teardown
+	Type     string                   `json:"type"` // dm | deploy | manifest | usage | renew | teardown
 	DM       *discovery.DM            `json:"dm,omitempty"`
 	Deploy   *discovery.DeployRequest `json:"deploy,omitempty"`
 	DeviceID string                   `json:"device_id,omitempty"`
@@ -50,6 +51,9 @@ type response struct {
 	Manifest *deployserver.Manifest    `json:"manifest,omitempty"`
 	Packets  int64                     `json:"packets,omitempty"`
 	Bytes    int64                     `json:"bytes,omitempty"`
+	// LeaseExpires is the deployment's new lease expiry after a renew
+	// (daemon-relative time; zero means the lease never expires).
+	LeaseExpires time.Duration `json:"lease_expires,omitempty"`
 }
 
 func main() {
@@ -74,6 +78,9 @@ func serveMain(args []string) {
 	provider := fs.String("provider", "pvnd-isp", "provider name quoted in offers")
 	dpMode := fs.String("dataplane", "serial", "packet pipeline: serial (single-threaded switch) or sharded (parallel worker pool)")
 	dpShards := fs.Int("shards", 0, "shard/worker count for -dataplane=sharded (0 = GOMAXPROCS)")
+	offerTTL := fs.Duration("offer-ttl", 30*time.Second, "how long quoted offers stay deployable")
+	leaseTTL := fs.Duration("lease-ttl", 0, "deployment lease length; 0 = deployments last until teardown")
+	leaseSweep := fs.Duration("lease-sweep", 10*time.Second, "how often lapsed leases are reclaimed (with -lease-ttl)")
 	fs.Parse(args)
 	if *dpMode != "serial" && *dpMode != "sharded" {
 		log.Fatalf("pvnd: -dataplane must be serial or sharded, got %q", *dpMode)
@@ -104,8 +111,20 @@ func serveMain(args []string) {
 			"classifier": 0, "compressor": 0, "prefetcher": 0, "tcp-proxy": 0,
 			"dns-validate": 0, "transcoder": 100, "user-script": 50,
 		},
+		OfferTTL: *offerTTL,
 	}
 	srv := deployserver.New(policy, sw, rt, now)
+	srv.LeaseTTL = *leaseTTL
+	if *leaseTTL > 0 {
+		go func() {
+			for range time.Tick(*leaseSweep) {
+				if expired := srv.SweepExpired(); len(expired) > 0 {
+					log.Printf("pvnd: reclaimed %d lapsed leases: %v", len(expired), expired)
+				}
+			}
+		}()
+		log.Printf("pvnd: deployment leases: ttl=%v sweep=%v", *leaseTTL, *leaseSweep)
+	}
 
 	// -dataplane=sharded fronts the switch with the parallel pipeline:
 	// deployments mirror their flow rules into the pipeline's sharded
@@ -145,11 +164,6 @@ func serveMain(args []string) {
 	}
 }
 
-// srvMu serializes dispatch: the deployment server (like the simulated
-// data plane it fronts) is single-threaded by design, so concurrent
-// client connections take turns.
-var srvMu sync.Mutex
-
 func handle(conn net.Conn, srv *deployserver.Server) {
 	defer conn.Close()
 	dec := json.NewDecoder(bufio.NewReader(conn))
@@ -159,10 +173,9 @@ func handle(conn net.Conn, srv *deployserver.Server) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		srvMu.Lock()
-		resp := dispatch(&req, srv)
-		srvMu.Unlock()
-		enc.Encode(resp)
+		// The deployment server locks internally, so concurrent client
+		// connections dispatch straight in.
+		enc.Encode(dispatch(&req, srv))
 	}
 }
 
@@ -186,6 +199,12 @@ func dispatch(req *request, srv *deployserver.Server) *response {
 			return &response{Type: "error", Error: "no deployment"}
 		}
 		return &response{Type: "usage", Packets: p, Bytes: b}
+	case "renew":
+		exp, ok := srv.Renew(req.DeviceID)
+		if !ok {
+			return &response{Type: "error", Error: "no deployment (lease lapsed? redeploy)"}
+		}
+		return &response{Type: "renewed", LeaseExpires: exp}
 	case "teardown":
 		p, b, err := srv.Teardown(req.DeviceID)
 		if err != nil {
@@ -202,6 +221,11 @@ func clientMain(args []string) {
 	pvncPath := fs.String("pvnc", "", "PVNC file to deploy")
 	budget := fs.Int64("budget", 1000, "budget in microcredits")
 	deviceID := fs.String("device", "pvnd-client", "device identifier")
+	retries := fs.Int("retries", 3, "discovery/deploy retries before giving up on the daemon")
+	retryBackoff := fs.Duration("retry-backoff", 200*time.Millisecond, "initial retry delay (doubles per retry, capped at 5s)")
+	timeout := fs.Duration("timeout", 15*time.Second, "overall deadline for reaching a deployment")
+	fallback := fs.String("fallback-tunnel", "", "trusted remote PVN address to tunnel to when the daemon yields no deployment (empty = fail hard)")
+	fallbackRTT := fs.Duration("fallback-rtt", 80*time.Millisecond, "interdomain RTT penalty assumed for -fallback-tunnel")
 	fs.Parse(args)
 
 	if *pvncPath == "" {
@@ -219,9 +243,26 @@ func clientMain(args []string) {
 		log.Fatalf("invalid PVNC: %v", errs)
 	}
 
+	// fallbackOrDie tunnels out to the configured trusted PVN location
+	// (Fig 1c) instead of failing, when one is configured.
+	fallbackOrDie := func(why string) {
+		if *fallback == "" {
+			log.Fatalf("pvnd client: %s (no -fallback-tunnel configured)", why)
+		}
+		addr, err := packet.ParseIPv4(*fallback)
+		if err != nil {
+			log.Fatalf("pvnd client: %s; bad -fallback-tunnel: %v", why, err)
+		}
+		tt := tunnel.NewTable(cfg.Device)
+		tt.Add(&tunnel.Endpoint{Name: "fallback", Addr: addr, ExtraRTT: *fallbackRTT, Trusted: true})
+		ep, _ := tt.BestTrusted()
+		log.Printf("pvnd client: %s; falling back to tunnel via %s (%s, +%v RTT)", why, ep.Name, *fallback, ep.ExtraRTT)
+		os.Exit(0)
+	}
+
 	conn, err := net.Dial("tcp", *connect)
 	if err != nil {
-		log.Fatal(err)
+		fallbackOrDie(fmt.Sprintf("dial %s: %v", *connect, err))
 	}
 	defer conn.Close()
 	dec := json.NewDecoder(conn)
@@ -241,26 +282,47 @@ func clientMain(args []string) {
 	}
 
 	neg := discovery.NewNegotiator(*deviceID, cfg, *budget, discovery.StrategyReduce)
-	dm := neg.MakeDM()
-	log.Printf("-> DM seq=%d types=%v", dm.Seq, dm.RequiredTypes)
-	offerResp := call(&request{Type: "dm", DM: dm})
-	if offerResp.Offer == nil {
-		log.Fatal("no offer from daemon")
-	}
-	log.Printf("<- offer %s: %d types, cost=%d", offerResp.Offer.OfferID, len(offerResp.Offer.SupportedTypes), offerResp.Offer.TotalCost)
+	backoff := discovery.Backoff{Initial: *retryBackoff}
+	deadline := time.Now().Add(*timeout)
 
-	dec2 := neg.Evaluate(offerResp.Offer, 0)
-	if !dec2.Accept {
-		log.Fatalf("offer unacceptable: %s", dec2.Reason)
-	}
-	depResp := call(&request{Type: "deploy", Deploy: neg.BuildDeployRequest(offerResp.Offer, dec2)})
-	if !depResp.Deploy.OK {
-		log.Fatalf("deploy NACK: %s", depResp.Deploy.Reason)
+	// Discovery and deploy retry on transient failures (no offer, offer
+	// expired mid-flight, busy daemon) with capped exponential backoff.
+	var depResp *response
+	for attempt := 0; ; attempt++ {
+		dm := neg.MakeDM()
+		log.Printf("-> DM seq=%d types=%v (attempt %d/%d)", dm.Seq, dm.RequiredTypes, attempt+1, *retries+1)
+		offerResp := call(&request{Type: "dm", DM: dm})
+		if offerResp.Offer != nil {
+			offer := offerResp.Offer
+			log.Printf("<- offer %s: %d types, cost=%d", offer.OfferID, len(offer.SupportedTypes), offer.TotalCost)
+			dec2 := neg.Evaluate(offer, 0)
+			if !dec2.Accept {
+				fallbackOrDie("offer unacceptable: " + dec2.Reason)
+			}
+			depResp = call(&request{Type: "deploy", Deploy: neg.BuildDeployRequest(offer, dec2)})
+			if depResp.Deploy.OK {
+				break
+			}
+			log.Printf("<- deploy NACK: %s", depResp.Deploy.Reason)
+		} else {
+			log.Printf("<- no offer")
+		}
+		if attempt >= *retries {
+			fallbackOrDie(fmt.Sprintf("no deployment after %d attempts", attempt+1))
+		}
+		delay := backoff.Delay(attempt, nil)
+		if time.Now().Add(delay).After(deadline) {
+			fallbackOrDie("deadline exceeded")
+		}
+		time.Sleep(delay)
 	}
 	log.Printf("<- deployed: cookie=%d dhcp-refresh=%v", depResp.Deploy.Cookie, depResp.Deploy.DHCPRefresh)
 
 	man := call(&request{Type: "manifest", DeviceID: *deviceID})
 	log.Printf("<- manifest: hash=%.16s... types=%v rules=%d", man.Manifest.PVNCHash, man.Manifest.InstanceTypes, man.Manifest.RuleCount)
+
+	renew := call(&request{Type: "renew", DeviceID: *deviceID})
+	log.Printf("<- lease renewed: expires=%v", renew.LeaseExpires)
 
 	down := call(&request{Type: "teardown", DeviceID: *deviceID})
 	log.Printf("<- teardown: %d packets / %d bytes carried", down.Packets, down.Bytes)

@@ -77,6 +77,12 @@ func TestDispatchFullSession(t *testing.T) {
 		t.Fatalf("usage %+v", resp)
 	}
 
+	// renew (no LeaseTTL on this server: succeeds, infinite lease)
+	resp = dispatch(&request{Type: "renew", DeviceID: "dev1"}, srv)
+	if resp.Type != "renewed" || resp.LeaseExpires != 0 {
+		t.Fatalf("renew %+v", resp)
+	}
+
 	// teardown
 	resp = dispatch(&request{Type: "teardown", DeviceID: "dev1"}, srv)
 	if resp.Type != "usage" {
@@ -95,6 +101,7 @@ func TestDispatchErrors(t *testing.T) {
 		{Type: "dm"},
 		{Type: "deploy"},
 		{Type: "usage", DeviceID: "ghost"},
+		{Type: "renew", DeviceID: "ghost"},
 		{Type: "bogus"},
 	}
 	for _, req := range cases {

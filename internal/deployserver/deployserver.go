@@ -9,6 +9,7 @@ package deployserver
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pvn/internal/discovery"
@@ -22,6 +23,10 @@ type Deployment struct {
 	DeviceID string
 	Owner    string
 	Cookie   uint64
+	// OfferID is the offer this deployment was installed against; it
+	// keys duplicate-request suppression (a device retransmitting a
+	// deploy over a lossy link is re-ACKed, not NACKed).
+	OfferID string
 	// Hash is the PVNC hash actually installed (after any reduction).
 	Hash string
 	// PaidMicro is what the device committed.
@@ -35,6 +40,9 @@ type Deployment struct {
 	InstalledAt, ReadyAt time.Duration
 	// Meters installed for this deployment.
 	Meters []string
+	// LeaseExpires is when the deployment lapses unless renewed; zero
+	// means the lease never expires (the server has no LeaseTTL).
+	LeaseExpires time.Duration
 }
 
 // Server hosts PVN deployments for one access network.
@@ -57,7 +65,17 @@ type Server struct {
 	ExtraRules openflow.RuleTable
 	// DevicePort/UpstreamPort are the compile targets.
 	DevicePort, UpstreamPort uint16
+	// LeaseTTL bounds how long a deployment lives without a Renew call.
+	// Zero preserves the legacy behaviour: deployments last until
+	// explicit teardown. Nonzero turns deployments into leases a crashed
+	// or departed device cannot leak forever (§3.3).
+	LeaseTTL time.Duration
 
+	// mu guards the deployment book and cookie counter, and serializes
+	// installs/teardowns against the (not goroutine-safe) runtime —
+	// cmd/pvnd dispatches concurrent client connections straight into
+	// these methods.
+	mu          sync.Mutex
 	nextCookie  uint64
 	deployments map[string]*Deployment // by device ID
 }
@@ -84,18 +102,40 @@ func (s *Server) HandleDM(dm *discovery.DM) *discovery.Offer {
 
 // Deployment returns the active deployment for a device, or nil.
 func (s *Server) Deployment(deviceID string) *Deployment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.deployments[deviceID]
 }
 
 // HandleDeploy installs a PVNC. Every failure path is a NACK; the
 // installation itself is all-or-nothing (partial installs are rolled
-// back).
+// back). A retransmission of an already-installed request (same device,
+// same offer) is re-ACKed with the original cookie so devices on lossy
+// links can retry safely.
 func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	nack := func(format string, args ...interface{}) *discovery.DeployResponse {
 		return &discovery.DeployResponse{OK: false, Reason: fmt.Sprintf(format, args...)}
 	}
-	if _, exists := s.deployments[req.DeviceID]; exists {
+	if dep, exists := s.deployments[req.DeviceID]; exists {
+		if req.OfferID != "" && dep.OfferID == req.OfferID {
+			// Duplicate of the request that installed this deployment
+			// (the ACK was lost): idempotent re-ACK.
+			return &discovery.DeployResponse{OK: true, Cookie: dep.Cookie, DHCPRefresh: true}
+		}
 		return nack("device %s already has a deployment; tear it down first", req.DeviceID)
+	}
+	// Deploys quoting an offer must quote one this provider issued and
+	// that is still live; deploys with no offer ID are walk-ins priced
+	// at the current book (used by tests and bulk experiments).
+	if req.OfferID != "" {
+		switch s.Provider.OfferStatus(req.OfferID, s.Now()) {
+		case discovery.OfferUnknown:
+			return nack("unknown offer %q (never issued, or provider restarted)", req.OfferID)
+		case discovery.OfferExpired:
+			return nack("offer %q expired", req.OfferID)
+		}
 	}
 	source := req.PVNCSource
 	if source == "" && req.PVNCURI != "" {
@@ -153,9 +193,13 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 		DeviceID:    req.DeviceID,
 		Owner:       cfg.Owner,
 		Cookie:      cookie,
+		OfferID:     req.OfferID,
 		Hash:        compiled.Hash,
 		PaidMicro:   req.Payment,
 		InstalledAt: s.Now(),
+	}
+	if s.LeaseTTL > 0 {
+		dep.LeaseExpires = s.Now() + s.LeaseTTL
 	}
 
 	// Instantiate middleboxes; on any failure, roll back what exists.
@@ -167,6 +211,9 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 		for _, ch := range dep.Chains {
 			owner, name, _ := cutChain(ch)
 			s.Runtime.RemoveChain(owner, name)
+		}
+		for _, m := range dep.Meters {
+			s.Switch.RemoveMeter(m)
 		}
 		s.Switch.Table.RemoveByCookie(cookie)
 		if s.ExtraRules != nil {
@@ -223,6 +270,8 @@ func cutChain(s string) (owner, name string, ok bool) {
 
 // Usage reports traffic counters for a device's deployment.
 func (s *Server) Usage(deviceID string) (packets, bytes int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	dep := s.deployments[deviceID]
 	if dep == nil {
 		return 0, 0, false
@@ -231,9 +280,15 @@ func (s *Server) Usage(deviceID string) (packets, bytes int64, ok bool) {
 	return p, b, true
 }
 
-// Teardown removes a deployment: flow rules, chains, instances. It
-// returns the final usage counters for billing.
+// Teardown removes a deployment: flow rules, chains, instances, meters.
+// It returns the final usage counters for billing.
 func (s *Server) Teardown(deviceID string) (packets, bytes int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.teardownLocked(deviceID)
+}
+
+func (s *Server) teardownLocked(deviceID string) (packets, bytes int64, err error) {
 	dep := s.deployments[deviceID]
 	if dep == nil {
 		return 0, 0, fmt.Errorf("deployserver: no deployment for %q", deviceID)
@@ -250,8 +305,112 @@ func (s *Server) Teardown(deviceID string) (packets, bytes int64, err error) {
 	for _, id := range dep.InstanceIDs {
 		s.Runtime.Terminate(id)
 	}
+	for _, m := range dep.Meters {
+		s.Switch.RemoveMeter(m)
+	}
 	delete(s.deployments, deviceID)
 	return packets, bytes, nil
+}
+
+// Renew extends a deployment's lease by the server's LeaseTTL and
+// returns the new expiry. ok is false when the device has no deployment
+// (e.g. its lease already lapsed — the device must redeploy). With no
+// LeaseTTL configured the call succeeds and the lease stays infinite.
+func (s *Server) Renew(deviceID string) (leaseExpires time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dep := s.deployments[deviceID]
+	if dep == nil {
+		return 0, false
+	}
+	if s.LeaseTTL > 0 {
+		dep.LeaseExpires = s.Now() + s.LeaseTTL
+	}
+	return dep.LeaseExpires, true
+}
+
+// SweepExpired tears down every deployment whose lease has lapsed and
+// returns the affected device IDs. cmd/pvnd runs this periodically;
+// simulations call it from scheduled events.
+func (s *Server) SweepExpired() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.Now()
+	var expired []string
+	for id, dep := range s.deployments {
+		if dep.LeaseExpires > 0 && now >= dep.LeaseExpires {
+			expired = append(expired, id)
+		}
+	}
+	for _, id := range expired {
+		s.teardownLocked(id)
+	}
+	return expired
+}
+
+// Restart simulates the deploy-server process crashing and coming back:
+// all in-memory control state (deployment book, offer book) is lost,
+// while the switch rules, meters and runtime instances it installed
+// keep running — leaked state a fresh process no longer tracks.
+// ReclaimOrphans is the recovery path that mops those up.
+func (s *Server) Restart() {
+	s.mu.Lock()
+	s.deployments = make(map[string]*Deployment)
+	s.mu.Unlock()
+	s.Provider.ForgetOffers()
+}
+
+// ReclaimOrphans removes every switch rule, meter, runtime chain and
+// instance that no tracked deployment owns — the state a crash leaked.
+// It assumes the switch and runtime are exclusively this server's (true
+// for pvnd and the experiment harnesses) and reports what it reclaimed.
+func (s *Server) ReclaimOrphans() (rules, meters, chains, instances int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cookies := map[uint64]bool{}
+	keepMeter := map[string]bool{}
+	keepChain := map[string]bool{}
+	keepInst := map[string]bool{}
+	for _, dep := range s.deployments {
+		cookies[dep.Cookie] = true
+		for _, m := range dep.Meters {
+			keepMeter[m] = true
+		}
+		for _, ch := range dep.Chains {
+			keepChain[ch] = true
+		}
+		for _, id := range dep.InstanceIDs {
+			keepInst[id] = true
+		}
+	}
+	for _, e := range s.Switch.Table.Entries() {
+		if !cookies[e.Cookie] {
+			rules += s.Switch.Table.RemoveByCookie(e.Cookie)
+			if s.ExtraRules != nil {
+				s.ExtraRules.RemoveByCookie(e.Cookie)
+			}
+		}
+	}
+	for id := range s.Switch.Meters {
+		if !keepMeter[id] {
+			s.Switch.RemoveMeter(id)
+			meters++
+		}
+	}
+	for _, key := range s.Runtime.ChainKeys() {
+		if !keepChain[key] {
+			owner, name, _ := cutChain(key)
+			s.Runtime.RemoveChain(owner, name)
+			chains++
+		}
+	}
+	for _, id := range s.Runtime.InstanceIDs() {
+		if !keepInst[id] {
+			s.Runtime.Terminate(id)
+			instances++
+		}
+	}
+	return rules, meters, chains, instances
 }
 
 // Manifest describes what is actually installed for a device — the input
@@ -272,6 +431,8 @@ type Manifest struct {
 // BuildManifest reports the installed state for a device, or nil when no
 // deployment exists.
 func (s *Server) BuildManifest(deviceID string) *Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	dep := s.deployments[deviceID]
 	if dep == nil {
 		return nil

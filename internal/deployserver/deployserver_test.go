@@ -50,7 +50,10 @@ func deployReq(t *testing.T, payment int64) *discovery.DeployRequest {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &discovery.DeployRequest{OfferID: "o1", DeviceID: "dev1", PVNCSource: cfg.Source(), Payment: payment}
+	// No OfferID: a walk-in deploy priced at the current book. Deploys
+	// that do quote an offer must quote one the provider actually issued
+	// (see lifecycle_test.go).
+	return &discovery.DeployRequest{DeviceID: "dev1", PVNCSource: cfg.Source(), Payment: payment}
 }
 
 func TestDeployHappyPath(t *testing.T) {

@@ -13,6 +13,7 @@ package discovery
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"pvn/internal/pvnc"
@@ -49,6 +50,10 @@ type DM struct {
 type Offer struct {
 	OfferID  string `json:"offer_id"`
 	Provider string `json:"provider"`
+	// DMSeq echoes the sequence number of the DM this offer answers, so
+	// a device retrying over a lossy channel can discard offers that
+	// belong to an earlier attempt (stale-reply suppression).
+	DMSeq uint64 `json:"dm_seq,omitempty"`
 	// DeployServer is where to send the deployment request.
 	DeployServer string   `json:"deploy_server"`
 	Standards    []string `json:"standards"`
@@ -124,8 +129,28 @@ type ProviderPolicy struct {
 	// answers DMs (§3.3 "coping with unavailability").
 	Disabled bool
 
+	// mu guards the mutable negotiation state below. cmd/pvnd answers
+	// DMs from concurrent TCP connections and the UDP responder at once.
+	mu        sync.Mutex
 	nextOffer int
+	// issued remembers every outstanding offer's expiry so the deploy
+	// server can refuse deploys against unknown or expired offers.
+	issued map[string]time.Duration
 }
+
+// OfferState classifies a quoted offer ID at deploy time.
+type OfferState int
+
+// Offer states.
+const (
+	// OfferUnknown means the provider never issued (or has forgotten)
+	// this offer ID — e.g. it restarted since quoting it.
+	OfferUnknown OfferState = iota
+	// OfferExpired means the offer's TTL has passed.
+	OfferExpired
+	// OfferValid means the offer is live and deployable.
+	OfferValid
+)
 
 // HandleDM evaluates a discovery message and returns an offer, or nil
 // when the provider does not (or cannot) serve the request.
@@ -155,10 +180,24 @@ func (pp *ProviderPolicy) HandleDM(dm *DM, now time.Duration) *Offer {
 	if ttl == 0 {
 		ttl = 30 * time.Second
 	}
+	pp.mu.Lock()
 	pp.nextOffer++
+	id := fmt.Sprintf("%s-%d", pp.Provider, pp.nextOffer)
+	if pp.issued == nil {
+		pp.issued = make(map[string]time.Duration)
+	}
+	// Prune dead offers so the book stays bounded by the live set.
+	for old, exp := range pp.issued {
+		if now >= exp {
+			delete(pp.issued, old)
+		}
+	}
+	pp.issued[id] = now + ttl
+	pp.mu.Unlock()
 	return &Offer{
-		OfferID:        fmt.Sprintf("%s-%d", pp.Provider, pp.nextOffer),
+		OfferID:        id,
 		Provider:       pp.Provider,
+		DMSeq:          dm.Seq,
 		DeployServer:   pp.DeployServer,
 		Standards:      pp.Standards,
 		SupportedTypes: supported,
@@ -166,6 +205,29 @@ func (pp *ProviderPolicy) HandleDM(dm *DM, now time.Duration) *Offer {
 		TotalCost:      total,
 		ExpiresAt:      now + ttl,
 	}
+}
+
+// OfferStatus reports whether an offer ID this provider quoted is still
+// deployable at now. The deploy server consults it before installing.
+func (pp *ProviderPolicy) OfferStatus(id string, now time.Duration) OfferState {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	exp, ok := pp.issued[id]
+	if !ok {
+		return OfferUnknown
+	}
+	if now >= exp {
+		return OfferExpired
+	}
+	return OfferValid
+}
+
+// ForgetOffers drops the entire offer book — what a provider crash does
+// to its in-memory negotiation state.
+func (pp *ProviderPolicy) ForgetOffers() {
+	pp.mu.Lock()
+	pp.issued = nil
+	pp.mu.Unlock()
 }
 
 func sharesStandard(a, b []string) bool {
@@ -259,7 +321,10 @@ func (n *Negotiator) Evaluate(offer *Offer, now time.Duration) Decision {
 	if offer == nil {
 		return Decision{Reason: "no offer"}
 	}
-	if now > offer.ExpiresAt {
+	// An offer is void from the instant it expires (now >= ExpiresAt):
+	// the provider's deploy server enforces the same boundary, so a
+	// device that accepted at now == ExpiresAt would only be NACKed.
+	if now >= offer.ExpiresAt {
 		return Decision{Reason: "offer expired"}
 	}
 	required := requiredTypes(n.Config)
@@ -283,11 +348,18 @@ func (n *Negotiator) Evaluate(offer *Offer, now time.Duration) Decision {
 		}
 		// Trim types until the subset fits the budget, dropping the
 		// most expensive first (keeps the most functionality per
-		// credit).
+		// credit). Price ties break by type name (last in sort order
+		// goes first) so the reduced config is the same on every run —
+		// map iteration order must not leak into the deployed PVNC.
 		for cost > n.BudgetMicro {
-			worst, worstPrice := "", int64(-1)
+			names := make([]string, 0, len(supported))
 			for t := range supported {
-				if offer.PricePerModule[t] > worstPrice {
+				names = append(names, t)
+			}
+			sort.Strings(names)
+			worst, worstPrice := "", int64(-1)
+			for _, t := range names {
+				if offer.PricePerModule[t] >= worstPrice {
 					worst, worstPrice = t, offer.PricePerModule[t]
 				}
 			}
@@ -373,12 +445,15 @@ func (n *Negotiator) CounterDM(offer *Offer) (*DM, *pvnc.PVNC, bool) {
 }
 
 // BuildDeployRequest constructs the deployment request for an accepted
-// decision.
+// decision. PVNCHash binds the request to the exact configuration the
+// device negotiated, arming the server's tamper check even when the
+// source travels inline (a hostile path could rewrite it either way).
 func (n *Negotiator) BuildDeployRequest(offer *Offer, dec Decision) *DeployRequest {
 	return &DeployRequest{
 		OfferID:    offer.OfferID,
 		DeviceID:   n.DeviceID,
 		PVNCSource: dec.FinalConfig.Source(),
+		PVNCHash:   dec.FinalConfig.Hash(),
 		Payment:    dec.Cost,
 	}
 }

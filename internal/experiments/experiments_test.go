@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -295,6 +296,76 @@ func TestE10RedirectShape(t *testing.T) {
 	}
 }
 
+// TestE13LifecycleShape checks the lossy-lifecycle acceptance criteria:
+// at 30% injected loss every device still reaches connectivity (PVN or
+// tunnel) inside the deadline, retries are actually exercised, and the
+// crash scenario reclaims orphaned state and re-deploys lapsed devices.
+func TestE13LifecycleShape(t *testing.T) {
+	p := DefaultE13
+	p.Devices = 12
+	res := E13(p)
+	if len(res.Rows) != len(p.LossRates)+1 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	find := func(label string) []string {
+		for _, row := range res.Rows {
+			if row[0] == label {
+				return row
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return nil
+	}
+	// Lossless: everyone deploys first try.
+	clean := find("loss 0%")
+	if cell(t, clean[1]) != float64(p.Devices) || cell(t, clean[6]) != 0 {
+		t.Fatalf("lossless row %v", clean)
+	}
+	// 30% loss: every device lands on PVN or tunnel within the deadline
+	// (time-to-connectivity bounded), with retries observed.
+	lossy := find("loss 30%")
+	deployed, tunneled := cell(t, lossy[1]), cell(t, lossy[2])
+	if deployed+tunneled != float64(p.Devices) {
+		t.Fatalf("30%% loss: %v deployed + %v tunneled != %d devices", deployed, tunneled, p.Devices)
+	}
+	if maxTTC := cell(t, lossy[4]); maxTTC > float64((p.Deadline+time.Second)/time.Millisecond) {
+		t.Fatalf("30%% loss: p95 ttc %v ms exceeds deadline", maxTTC)
+	}
+	if got := cell(t, lossy[6]); got < 3 {
+		t.Fatalf("30%% loss: max retries %v, want >= 3 (retry machinery unexercised)", got)
+	}
+	// 50% loss still strands nobody.
+	worst := find("loss 50%")
+	if cell(t, worst[1])+cell(t, worst[2]) != float64(p.Devices) {
+		t.Fatalf("50%% loss stranded devices: %v", worst)
+	}
+	// Crash scenario: deployments were lost, reclaimed, and re-deployed.
+	var crashFinding string
+	for _, f := range res.Findings {
+		if strings.Contains(f, "crash at") {
+			crashFinding = f
+		}
+	}
+	if crashFinding == "" || strings.Contains(crashFinding, "0 live deployments lost") ||
+		strings.Contains(crashFinding, "0 orphaned instances") {
+		t.Fatalf("crash scenario did not exercise recovery: %q", crashFinding)
+	}
+}
+
+// TestE13NoGoroutineLeak: the whole lifecycle runs on the simulated
+// clock; an experiment run must not leave goroutines behind.
+func TestE13NoGoroutineLeak(t *testing.T) {
+	p := DefaultE13
+	p.Devices = 6
+	before := runtime.NumGoroutine()
+	E13(p)
+	runtime.GC()
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Fatalf("goroutines grew %d -> %d", before, after)
+	}
+}
+
 // TestExperimentsDeterministic: EXPERIMENTS.md promises bit-identical
 // tables on every run; verify for a representative subset.
 func TestExperimentsDeterministic(t *testing.T) {
@@ -307,6 +378,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E6", func() string { p := DefaultE6; p.Lookups = 40; return E6(p).String() }},
 		{"E8", func() string { p := DefaultE8; p.Trials = 6; return E8(p).String() }},
 		{"E10", func() string { return E10(DefaultE10).String() }},
+		{"E13", func() string { p := DefaultE13; p.Devices = 8; return E13(p).String() }},
 	}
 	for _, c := range pairs {
 		a, b := c.run(), c.run()

@@ -288,6 +288,27 @@ func (r *Runtime) TeardownUser(owner string) int {
 // Instance returns the instance by ID, or nil.
 func (r *Runtime) Instance(id string) *Instance { return r.instances[id] }
 
+// InstanceIDs returns the IDs of every hosted instance, in no particular
+// order. Deployment-server crash recovery diffs this against its book to
+// find orphans.
+func (r *Runtime) InstanceIDs() []string {
+	out := make([]string, 0, len(r.instances))
+	for id := range r.instances {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ChainKeys returns every chain's "namespace/name" key, in no particular
+// order — the counterpart of InstanceIDs for crash recovery.
+func (r *Runtime) ChainKeys() []string {
+	out := make([]string, 0, len(r.chains))
+	for key := range r.chains {
+		out = append(out, key)
+	}
+	return out
+}
+
 // InstancesOf returns all instances owned by owner.
 func (r *Runtime) InstancesOf(owner string) []*Instance {
 	var out []*Instance

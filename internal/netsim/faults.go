@@ -1,0 +1,107 @@
+package netsim
+
+import "time"
+
+// Control-plane fault injection (paper §3.3 "coping with unavailability"):
+// the discovery/deployment exchanges ride links that drop, delay and
+// duplicate messages, and providers crash and restart. FaultInjector
+// models one direction of such a lossy control channel on the simulated
+// clock; experiments wrap each DM/Offer/Deploy/ACK hop in one.
+
+// Outage is a half-open window [From, Until) of simulated time during
+// which the peer behind the injector is down: every message sent in the
+// window is silently lost (a crashed provider neither receives nor
+// answers).
+type Outage struct {
+	From, Until time.Duration
+}
+
+// FaultConfig parameterizes a faulty control channel.
+type FaultConfig struct {
+	// DropRate is the independent per-message loss probability in [0,1].
+	DropRate float64
+	// DupRate is the probability a message is delivered twice, each copy
+	// with its own delay draw — retransmission buffers and route flaps
+	// both produce this.
+	DupRate float64
+	// DelayMin/DelayMax bound the uniform per-delivery latency. Max < Min
+	// is treated as a fixed DelayMin delay.
+	DelayMin, DelayMax time.Duration
+	// Outages are crash windows for the peer behind this channel.
+	Outages []Outage
+}
+
+// FaultStats counts what the injector did, for experiment tables.
+type FaultStats struct {
+	Sent        int64 // messages offered to the channel
+	Dropped     int64 // lost to DropRate
+	OutageDrops int64 // lost to a crash window
+	Duplicated  int64 // messages delivered twice
+	Delivered   int64 // copies actually scheduled
+}
+
+// FaultInjector applies FaultConfig to message deliveries. All
+// randomness comes from the supplied RNG, so fault sequences are
+// reproducible run-to-run for a given seed.
+type FaultInjector struct {
+	cfg   FaultConfig
+	rng   *RNG
+	Stats FaultStats
+}
+
+// NewFaultInjector builds an injector drawing from rng. A nil rng gets a
+// fixed-seed generator, which is fine for single-injector tests but
+// correlates draws across injectors — fork one RNG per direction.
+func NewFaultInjector(cfg FaultConfig, rng *RNG) *FaultInjector {
+	if rng == nil {
+		rng = NewRNG(1)
+	}
+	return &FaultInjector{cfg: cfg, rng: rng}
+}
+
+// Config returns the injector's configuration.
+func (f *FaultInjector) Config() FaultConfig { return f.cfg }
+
+// Down reports whether the peer is inside a crash window at now.
+func (f *FaultInjector) Down(now time.Duration) bool {
+	for _, o := range f.cfg.Outages {
+		if now >= o.From && now < o.Until {
+			return true
+		}
+	}
+	return false
+}
+
+// delay draws one uniform delivery latency.
+func (f *FaultInjector) delay() time.Duration {
+	if f.cfg.DelayMax <= f.cfg.DelayMin {
+		return f.cfg.DelayMin
+	}
+	span := f.cfg.DelayMax - f.cfg.DelayMin
+	return f.cfg.DelayMin + time.Duration(f.rng.Float64()*float64(span))
+}
+
+// Deliver offers one message to the channel at the clock's current
+// instant: it may be dropped (loss or outage), delayed, or delivered
+// twice. Each surviving copy invokes deliver on the clock after its own
+// latency draw. The message itself is opaque — callers close over it.
+func (f *FaultInjector) Deliver(clock *Clock, deliver func()) {
+	f.Stats.Sent++
+	if f.Down(clock.Now()) {
+		f.Stats.OutageDrops++
+		return
+	}
+	if f.rng.Bool(f.cfg.DropRate) {
+		f.Stats.Dropped++
+		return
+	}
+	copies := 1
+	if f.rng.Bool(f.cfg.DupRate) {
+		copies = 2
+		f.Stats.Duplicated++
+	}
+	for i := 0; i < copies; i++ {
+		f.Stats.Delivered++
+		clock.Schedule(f.delay(), deliver)
+	}
+}

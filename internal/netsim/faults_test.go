@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultInjectorDropRate(t *testing.T) {
+	clock := &Clock{}
+	inj := NewFaultInjector(FaultConfig{DropRate: 0.3}, NewRNG(7))
+	delivered := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		inj.Deliver(clock, func() { delivered++ })
+	}
+	clock.Run()
+	if inj.Stats.Sent != n {
+		t.Fatalf("sent %d", inj.Stats.Sent)
+	}
+	got := float64(inj.Stats.Dropped) / n
+	if got < 0.27 || got > 0.33 {
+		t.Fatalf("drop rate %.3f, want ~0.30", got)
+	}
+	if int64(delivered) != inj.Stats.Delivered {
+		t.Fatalf("delivered %d vs stats %d", delivered, inj.Stats.Delivered)
+	}
+}
+
+func TestFaultInjectorDuplicates(t *testing.T) {
+	clock := &Clock{}
+	inj := NewFaultInjector(FaultConfig{DupRate: 1}, NewRNG(1))
+	delivered := 0
+	inj.Deliver(clock, func() { delivered++ })
+	clock.Run()
+	if delivered != 2 || inj.Stats.Duplicated != 1 {
+		t.Fatalf("delivered=%d duplicated=%d", delivered, inj.Stats.Duplicated)
+	}
+}
+
+func TestFaultInjectorDelayBounds(t *testing.T) {
+	clock := &Clock{}
+	cfg := FaultConfig{DelayMin: 10 * time.Millisecond, DelayMax: 50 * time.Millisecond}
+	inj := NewFaultInjector(cfg, NewRNG(3))
+	var at []time.Duration
+	for i := 0; i < 200; i++ {
+		inj.Deliver(clock, func() { at = append(at, clock.Now()) })
+	}
+	clock.Run()
+	for _, d := range at {
+		if d < cfg.DelayMin || d > cfg.DelayMax {
+			t.Fatalf("delivery at %v outside [%v, %v]", d, cfg.DelayMin, cfg.DelayMax)
+		}
+	}
+}
+
+func TestFaultInjectorOutage(t *testing.T) {
+	clock := &Clock{}
+	inj := NewFaultInjector(FaultConfig{
+		Outages: []Outage{{From: 100 * time.Millisecond, Until: 200 * time.Millisecond}},
+	}, NewRNG(1))
+	delivered := 0
+	send := func() { inj.Deliver(clock, func() { delivered++ }) }
+	clock.Schedule(50*time.Millisecond, send)  // before the crash
+	clock.Schedule(150*time.Millisecond, send) // during
+	clock.Schedule(250*time.Millisecond, send) // after restart
+	clock.Run()
+	if delivered != 2 || inj.Stats.OutageDrops != 1 {
+		t.Fatalf("delivered=%d outageDrops=%d", delivered, inj.Stats.OutageDrops)
+	}
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	run := func() []int64 {
+		clock := &Clock{}
+		inj := NewFaultInjector(FaultConfig{DropRate: 0.4, DupRate: 0.2, DelayMax: time.Millisecond}, NewRNG(42))
+		for i := 0; i < 500; i++ {
+			inj.Deliver(clock, func() {})
+		}
+		clock.Run()
+		return []int64{inj.Stats.Dropped, inj.Stats.Duplicated, inj.Stats.Delivered}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged: %v vs %v", a, b)
+		}
+	}
+}

@@ -97,6 +97,11 @@ func NewSwitch(id string, now func() time.Duration) *Switch {
 // AddMeter installs a named meter.
 func (s *Switch) AddMeter(id string, m *Meter) { s.Meters[id] = m }
 
+// RemoveMeter uninstalls a named meter. Flow rules still referencing it
+// fall back to unmetered forwarding (the lookup treats a missing meter
+// as pass-through), so removal order vs. rule removal does not matter.
+func (s *Switch) RemoveMeter(id string) { delete(s.Meters, id) }
+
 // Process runs one packet (raw IPv4 bytes) through the pipeline and
 // returns its disposition.
 func (s *Switch) Process(data []byte, inPort uint16) Disposition {
