@@ -118,13 +118,17 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 	nack := func(format string, args ...interface{}) *discovery.DeployResponse {
 		return &discovery.DeployResponse{OK: false, Reason: fmt.Sprintf(format, args...)}
 	}
-	if dep, exists := s.deployments[req.DeviceID]; exists {
-		if req.OfferID != "" && dep.OfferID == req.OfferID {
-			// Duplicate of the request that installed this deployment
-			// (the ACK was lost): idempotent re-ACK.
-			return &discovery.DeployResponse{OK: true, Cookie: dep.Cookie, DHCPRefresh: true}
-		}
-		return nack("device %s already has a deployment; tear it down first", req.DeviceID)
+	// prior is the device's existing deployment, if any. A request for
+	// the PVNC already installed is re-ACKed idempotently (checked below
+	// once the source is parsed); a genuinely different config supersedes
+	// the stale deployment — torn down only once the new request has
+	// fully validated and compiled, so a bad request never destroys a
+	// working deployment.
+	prior := s.deployments[req.DeviceID]
+	if prior != nil && req.OfferID != "" && prior.OfferID == req.OfferID {
+		// Duplicate of the request that installed this deployment
+		// (the ACK was lost): idempotent re-ACK.
+		return &discovery.DeployResponse{OK: true, Cookie: prior.Cookie, DHCPRefresh: true}
 	}
 	// Deploys quoting an offer must quote one this provider issued and
 	// that is still live; deploys with no offer ID are walk-ins priced
@@ -159,6 +163,14 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 	}
 	if errs := cfg.Validate(); len(errs) > 0 {
 		return nack("invalid PVNC: %v", errs[0])
+	}
+	if prior != nil && cfg.Hash() == prior.Hash {
+		// The device's deploy installed but every ACK was lost, so it
+		// abandoned the offer, re-discovered and is asking for the PVNC
+		// already running (under a new offer ID, or as a walk-in).
+		// Re-ACK rather than locking it out until the lease lapses —
+		// with LeaseTTL=0 that lockout would be permanent.
+		return &discovery.DeployResponse{OK: true, Cookie: prior.Cookie, DHCPRefresh: true}
 	}
 	// Price check: the device must cover the provider's price for every
 	// module it deploys.
@@ -200,6 +212,12 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 	}
 	if s.LeaseTTL > 0 {
 		dep.LeaseExpires = s.Now() + s.LeaseTTL
+	}
+
+	// The new request is valid and compiled: retire the deployment it
+	// supersedes before installing.
+	if prior != nil {
+		s.teardownLocked(req.DeviceID)
 	}
 
 	// Instantiate middleboxes; on any failure, roll back what exists.

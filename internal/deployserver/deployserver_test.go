@@ -152,15 +152,24 @@ func TestDeployNACKs(t *testing.T) {
 	}
 }
 
-func TestDoubleDeployRejected(t *testing.T) {
+// TestDoubleDeployIdempotent: a walk-in redeploy of the PVNC already
+// installed is re-ACKed with the original cookie and installs nothing
+// twice (a second deployment for the same device never coexists with
+// the first).
+func TestDoubleDeployIdempotent(t *testing.T) {
 	now := time.Duration(0)
 	s := testServer(t, &now)
-	if resp := s.HandleDeploy(deployReq(t, 300)); !resp.OK {
-		t.Fatal(resp.Reason)
+	first := s.HandleDeploy(deployReq(t, 300))
+	if !first.OK {
+		t.Fatal(first.Reason)
 	}
-	resp := s.HandleDeploy(deployReq(t, 300))
-	if resp.OK || !strings.Contains(resp.Reason, "already") {
-		t.Fatalf("second deploy: %+v", resp)
+	rules := s.Switch.Table.Len()
+	second := s.HandleDeploy(deployReq(t, 300))
+	if !second.OK || second.Cookie != first.Cookie {
+		t.Fatalf("second deploy: %+v (want re-ACK of cookie %d)", second, first.Cookie)
+	}
+	if s.Switch.Table.Len() != rules {
+		t.Fatalf("double deploy grew the table: %d -> %d", rules, s.Switch.Table.Len())
 	}
 }
 

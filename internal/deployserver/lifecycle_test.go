@@ -16,7 +16,12 @@ import (
 // resulting deploy request (bound to a live offer).
 func negotiated(t *testing.T, s *Server, deviceID string) *discovery.DeployRequest {
 	t.Helper()
-	cfg, err := pvnc.Parse(cfgSrc)
+	return negotiatedSrc(t, s, deviceID, cfgSrc)
+}
+
+func negotiatedSrc(t *testing.T, s *Server, deviceID, src string) *discovery.DeployRequest {
+	t.Helper()
+	cfg, err := pvnc.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,6 +105,82 @@ func TestDuplicateDeployReACKed(t *testing.T) {
 	other.DeviceID = "dev2"
 	if resp := s.HandleDeploy(&other); !resp.OK {
 		t.Fatalf("second device on same offer: %s", resp.Reason)
+	}
+}
+
+// TestRedeployAfterLostACKs: a device whose deploy installed but whose
+// ACKs were all lost abandons the offer, re-discovers, and deploys the
+// same PVNC under a new offer ID. The server must recognize the hash
+// match and re-ACK with the original cookie — NACKing "already has a
+// deployment" would lock the device out permanently under LeaseTTL=0.
+func TestRedeployAfterLostACKs(t *testing.T) {
+	now := time.Duration(0)
+	s := testServer(t, &now)
+	first := s.HandleDeploy(negotiated(t, s, "dev1"))
+	if !first.OK {
+		t.Fatal(first.Reason)
+	}
+	rules := s.Switch.Table.Len()
+	insts := len(s.Runtime.InstanceIDs())
+	// Fresh discovery round: new offer ID, same config and hash.
+	req2 := negotiated(t, s, "dev1")
+	if dep := s.Deployment("dev1"); req2.OfferID == dep.OfferID {
+		t.Fatal("test needs a distinct offer ID")
+	}
+	second := s.HandleDeploy(req2)
+	if !second.OK || second.Cookie != first.Cookie {
+		t.Fatalf("same-PVNC redeploy under new offer: %+v (want re-ACK of cookie %d)", second, first.Cookie)
+	}
+	if s.Switch.Table.Len() != rules || len(s.Runtime.InstanceIDs()) != insts {
+		t.Fatalf("re-ACK reinstalled state: rules %d->%d insts %d->%d",
+			rules, s.Switch.Table.Len(), insts, len(s.Runtime.InstanceIDs()))
+	}
+}
+
+// TestRedeployNewConfigSupersedes: a redeploy with a genuinely different
+// PVNC replaces the stale deployment instead of being NACKed — but only
+// after the new request fully validates, so a bad request never destroys
+// a working deployment.
+func TestRedeployNewConfigSupersedes(t *testing.T) {
+	now := time.Duration(0)
+	s := testServer(t, &now)
+	first := s.HandleDeploy(negotiated(t, s, "dev1"))
+	if !first.OK {
+		t.Fatal(first.Reason)
+	}
+	oldHash := s.Deployment("dev1").Hash
+	rules := s.Switch.Table.Len()
+	insts := len(s.Runtime.InstanceIDs())
+
+	// An invalid replacement (payment too low) must leave the old
+	// deployment standing.
+	badSrc := strings.Replace(cfgSrc, "secrets=hunter2", "secrets=hunter3", 1)
+	bad := negotiatedSrc(t, s, "dev1", badSrc)
+	bad.Payment = 1
+	if resp := s.HandleDeploy(bad); resp.OK {
+		t.Fatal("underpaid replacement accepted")
+	}
+	if dep := s.Deployment("dev1"); dep == nil || dep.Hash != oldHash || dep.Cookie != first.Cookie {
+		t.Fatalf("failed replacement destroyed the old deployment: %+v", s.Deployment("dev1"))
+	}
+
+	// A valid replacement supersedes: new cookie, new hash, no doubled
+	// state from the old install.
+	good := negotiatedSrc(t, s, "dev1", badSrc)
+	resp := s.HandleDeploy(good)
+	if !resp.OK {
+		t.Fatalf("replacement NACKed: %s", resp.Reason)
+	}
+	if resp.Cookie == first.Cookie {
+		t.Fatal("replacement reused the old cookie")
+	}
+	dep := s.Deployment("dev1")
+	if dep.Hash == oldHash || dep.Hash != good.PVNCHash {
+		t.Fatalf("deployment hash %q, want the replacement's %q", dep.Hash, good.PVNCHash)
+	}
+	if s.Switch.Table.Len() != rules || len(s.Runtime.InstanceIDs()) != insts {
+		t.Fatalf("supersede leaked state: rules %d->%d insts %d->%d",
+			rules, s.Switch.Table.Len(), insts, len(s.Runtime.InstanceIDs()))
 	}
 }
 

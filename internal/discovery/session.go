@@ -31,7 +31,8 @@ type SessionClock interface {
 type Backoff struct {
 	// Initial is the delay before the first retry. Zero means 100ms.
 	Initial time.Duration
-	// Max caps the delay. Zero means 5s.
+	// Max caps the delay, jitter included: no returned delay ever
+	// exceeds it. Zero means 5s.
 	Max time.Duration
 	// Factor multiplies the delay per retry. Values < 1 mean 2.
 	Factor float64
@@ -66,6 +67,9 @@ func (b Backoff) Delay(retry int, rand func() float64) time.Duration {
 	}
 	if b.Jitter > 0 && rand != nil {
 		d *= 1 - b.Jitter + 2*b.Jitter*rand()
+		if d > float64(max) {
+			d = float64(max)
+		}
 	}
 	return time.Duration(d)
 }
@@ -334,6 +338,10 @@ func (s *Session) deployTimeout(gen int) {
 		s.transmitDeploy()
 		return
 	}
+	// Retransmission budget spent: abandon the offer and re-discover.
+	// The state must leave sessionDeploying here (as on the NACK path)
+	// or the retry callback scheduled by retryDiscovery would no-op.
+	s.state = sessionDiscovering
 	s.retryDiscovery("deploy unacknowledged")
 }
 

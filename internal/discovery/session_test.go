@@ -220,6 +220,59 @@ func TestSessionRetransmitsDeploy(t *testing.T) {
 	}
 }
 
+// TestSessionRediscoversWhenAllDeployACKsLost: every ACK for the first
+// round's deploy is dropped. Once the retransmission budget is spent the
+// session must run a fresh discovery round and deploy again — this used
+// to stall (and then tunnel out at the deadline) because deployTimeout
+// called retryDiscovery while the state was still sessionDeploying, so
+// the scheduled retry callback no-opped and no DM was ever resent.
+func TestSessionRediscoversWhenAllDeployACKsLost(t *testing.T) {
+	clock := &netsim.Clock{}
+	pp := fullPolicy()
+	s := &Session{
+		Neg: NewNegotiator("dev1", sessConfig(t), 1000, StrategyStrict),
+		Config: SessionConfig{
+			DeployTimeout: 50 * time.Millisecond,
+			DeployRetries: 2,
+			Backoff:       Backoff{Initial: 20 * time.Millisecond},
+		},
+	}
+	var got *SessionResult
+	s.Done = func(r SessionResult) { got = &r }
+	dms, deploys := 0, 0
+	s.Clock = clock
+	s.Send = func(msg interface{}) {
+		switch m := msg.(type) {
+		case *DM:
+			dms++
+			offer := pp.HandleDM(m, clock.Now())
+			clock.Schedule(time.Millisecond, func() { s.HandleOffer(offer) })
+		case *DeployRequest:
+			deploys++
+			if dms == 1 {
+				return // the first round's deploy ACKs all vanish
+			}
+			resp := okDeploy(5)(m)
+			clock.Schedule(time.Millisecond, func() { s.HandleDeployResponse(resp) })
+		}
+	}
+	s.Start()
+	clock.Run()
+	if got == nil || !got.Deployed || got.Fallback {
+		t.Fatalf("result %+v", got)
+	}
+	if dms != 2 {
+		t.Fatalf("discovery rounds %d, want a fresh round after deploy went unacknowledged", dms)
+	}
+	// Round one: initial send + 2 retransmissions; round two: one ACKed send.
+	if deploys != 4 {
+		t.Fatalf("deploys=%d", deploys)
+	}
+	if got.Attempts != 2 {
+		t.Fatalf("attempts=%d", got.Attempts)
+	}
+}
+
 // TestSessionFallsBackBoundedly: a dead provider exhausts the attempt
 // budget and the session signals tunnel fallback within the deadline.
 func TestSessionFallsBackBoundedly(t *testing.T) {
@@ -350,6 +403,14 @@ func TestBackoffDelays(t *testing.T) {
 		d := jb.Delay(0, rng.Float64)
 		if d < 50*time.Millisecond || d > 150*time.Millisecond {
 			t.Fatalf("jittered delay %v outside [50ms, 150ms]", d)
+		}
+	}
+	// Max is a hard cap: jitter on a delay at (or near) the cap must not
+	// push past it.
+	cb := Backoff{Initial: 800 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		if d := cb.Delay(1, rng.Float64); d > time.Second {
+			t.Fatalf("jittered delay %v exceeds Max %v", d, time.Second)
 		}
 	}
 }

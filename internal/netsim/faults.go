@@ -37,7 +37,7 @@ type FaultStats struct {
 	Dropped     int64 // lost to DropRate
 	OutageDrops int64 // lost to a crash window
 	Duplicated  int64 // messages delivered twice
-	Delivered   int64 // copies actually scheduled
+	Delivered   int64 // copies actually handed to the receiver
 }
 
 // FaultInjector applies FaultConfig to message deliveries. All
@@ -85,6 +85,10 @@ func (f *FaultInjector) delay() time.Duration {
 // instant: it may be dropped (loss or outage), delayed, or delivered
 // twice. Each surviving copy invokes deliver on the clock after its own
 // latency draw. The message itself is opaque — callers close over it.
+// The outage check runs at both ends of the hop: a peer that is down
+// when the message is sent never receives it, and a message whose delay
+// lands inside a crash window is lost too (a crashed peer cannot
+// process arrivals).
 func (f *FaultInjector) Deliver(clock *Clock, deliver func()) {
 	f.Stats.Sent++
 	if f.Down(clock.Now()) {
@@ -101,7 +105,13 @@ func (f *FaultInjector) Deliver(clock *Clock, deliver func()) {
 		f.Stats.Duplicated++
 	}
 	for i := 0; i < copies; i++ {
-		f.Stats.Delivered++
-		clock.Schedule(f.delay(), deliver)
+		clock.Schedule(f.delay(), func() {
+			if f.Down(clock.Now()) {
+				f.Stats.OutageDrops++
+				return
+			}
+			f.Stats.Delivered++
+			deliver()
+		})
 	}
 }

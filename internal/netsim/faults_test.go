@@ -69,6 +69,30 @@ func TestFaultInjectorOutage(t *testing.T) {
 	}
 }
 
+// TestFaultInjectorOutageAtDelivery: the crash window is honoured at
+// both ends of the hop — a message sent while the peer is up but whose
+// delay lands inside the window is lost, because a crashed peer cannot
+// process arrivals.
+func TestFaultInjectorOutageAtDelivery(t *testing.T) {
+	clock := &Clock{}
+	inj := NewFaultInjector(FaultConfig{
+		DelayMin: 20 * time.Millisecond,
+		Outages:  []Outage{{From: 100 * time.Millisecond, Until: 200 * time.Millisecond}},
+	}, NewRNG(1))
+	delivered := 0
+	send := func() { inj.Deliver(clock, func() { delivered++ }) }
+	clock.Schedule(90*time.Millisecond, send)  // up at send, down at arrival
+	clock.Schedule(150*time.Millisecond, send) // down at send
+	clock.Schedule(250*time.Millisecond, send) // up at both ends
+	clock.Run()
+	if delivered != 1 || inj.Stats.OutageDrops != 2 {
+		t.Fatalf("delivered=%d outageDrops=%d", delivered, inj.Stats.OutageDrops)
+	}
+	if inj.Stats.Delivered != 1 {
+		t.Fatalf("Stats.Delivered=%d, want only copies actually handed over", inj.Stats.Delivered)
+	}
+}
+
 func TestFaultInjectorDeterministic(t *testing.T) {
 	run := func() []int64 {
 		clock := &Clock{}
