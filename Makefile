@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-race check bench experiments examples cover clean
+.PHONY: all build vet test race test-race fuzz-short check bench experiments examples cover clean
 
 all: build vet test
 
@@ -27,8 +27,13 @@ race:
 test-race:
 	$(GO) test -race ./internal/discovery/ ./internal/deployserver/ ./internal/netsim/ ./cmd/pvnd/
 
-# The pre-merge gate: build, vet, full tests, lifecycle race pass.
-check: build vet test test-race
+# A short seed-corpus + random fuzz pass over the packet decoder: ten
+# seconds of go-fuzz on Decode, the parser every untrusted byte crosses.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/packet/
+
+# The pre-merge gate: build, vet, full tests, full race pass, short fuzz.
+check: build vet test race fuzz-short
 
 # One iteration of every benchmark (experiments E1-E12 + micro-benches).
 bench:

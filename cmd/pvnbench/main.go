@@ -122,6 +122,13 @@ var all = []experiment{
 		}
 		return experiments.E13(p)
 	}},
+	{"E14", "supervised execution: breakers, failure policy, restart", func(q bool) *experiments.Result {
+		p := experiments.DefaultE14
+		if q {
+			p.PacketsPerPhase = 200
+		}
+		return experiments.E14(p)
+	}},
 }
 
 func main() {

@@ -81,9 +81,16 @@ func serveMain(args []string) {
 	offerTTL := fs.Duration("offer-ttl", 30*time.Second, "how long quoted offers stay deployable")
 	leaseTTL := fs.Duration("lease-ttl", 0, "deployment lease length; 0 = deployments last until teardown")
 	leaseSweep := fs.Duration("lease-sweep", 10*time.Second, "how often lapsed leases are reclaimed (with -lease-ttl)")
+	mbxFailPolicy := fs.String("mbx-fail-policy", "", "default middlebox failure policy when a type declares none: open or closed (empty = closed)")
+	mbxBreaker := fs.Int("mbx-breaker-threshold", 8, "failures within the health window that open an instance's circuit breaker")
+	mbxBackoff := fs.Duration("mbx-restart-backoff", 200*time.Millisecond, "initial broken-instance restart cooldown (doubles per re-open, capped at 10s)")
 	fs.Parse(args)
 	if *dpMode != "serial" && *dpMode != "sharded" {
 		log.Fatalf("pvnd: -dataplane must be serial or sharded, got %q", *dpMode)
+	}
+	defaultPolicy, err := middlebox.ParseFailPolicy(*mbxFailPolicy)
+	if err != nil {
+		log.Fatalf("pvnd: -mbx-fail-policy: %v", err)
 	}
 
 	start := time.Now()
@@ -95,6 +102,19 @@ func serveMain(args []string) {
 	}
 	root := pki.NewRootCA("pvnd Root", rootKey, 0, 1<<40)
 	rt := middlebox.NewRuntime(now)
+	rt.Supervisor = middlebox.SupervisorConfig{
+		DefaultPolicy:    defaultPolicy,
+		BreakerThreshold: *mbxBreaker,
+		RestartBackoff:   *mbxBackoff,
+	}
+	// Log state transitions, not per-packet events: a panic storm must
+	// not become a log storm.
+	rt.OnEvent = func(ev middlebox.SupEvent) {
+		switch ev.Kind {
+		case middlebox.EventBreakerOpen, middlebox.EventRestart, middlebox.EventRecovered:
+			log.Printf("pvnd: mbx %s (%s, owner %s): %s — %s", ev.Instance, ev.Type, ev.Owner, ev.Kind, ev.Detail)
+		}
+	}
 	mbx.RegisterBuiltins(rt, mbx.Deps{
 		TrustStore: pki.NewTrustStore(root.Cert),
 		NowSeconds: func() int64 { return int64(time.Since(start).Seconds()) },

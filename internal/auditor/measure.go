@@ -20,6 +20,12 @@ const (
 	ViolationPathInflation   ViolationKind = "path-inflation"
 	ViolationPrivacyExposure ViolationKind = "privacy-exposure"
 	ViolationConfigTampering ViolationKind = "config-tampering"
+	// ViolationSecurityBypass: traffic crossed the PVN without being
+	// processed by a deployed security middlebox — a fail-open bypass
+	// of a broken tls-verify/pii-detect/… hop. The user's connectivity
+	// was preserved, but the policy they paid to deploy was not; the
+	// supervisor reports each occurrence so audits can prove it.
+	ViolationSecurityBypass ViolationKind = "security-bypass"
 )
 
 // Violation is one piece of evidence against a provider.
@@ -30,6 +36,20 @@ type Violation struct {
 	// Score quantifies severity/confidence in [0,1].
 	Score float64
 	At    time.Duration
+}
+
+// SecurityBypassViolation packages one supervised-execution bypass of a
+// security middlebox as auditable evidence. The supervisor emits one
+// event per bypassed packet; every event becomes one violation, so the
+// ledger's count equals the number of packets that escaped scanning.
+func SecurityBypassViolation(provider, instance, detail string, at time.Duration) Violation {
+	return Violation{
+		Kind:     ViolationSecurityBypass,
+		Provider: provider,
+		Detail:   fmt.Sprintf("security middlebox %s bypassed: %s", instance, detail),
+		Score:    1,
+		At:       at,
+	}
 }
 
 // DifferentiationResult reports a Glasnost-style comparison between a

@@ -8,24 +8,24 @@
 //
 // Architecture:
 //
-//	Submit ─hash(5-tuple)─▶ per-shard bounded ring ─batch─▶ worker ─▶ hooks
-//	                              │                            │
-//	                        backpressure/drop            flowCache over
-//	                          policy                  COW rule snapshot
+//		Submit ─hash(5-tuple)─▶ per-shard bounded ring ─batch─▶ worker ─▶ hooks
+//		                              │                            │
+//		                        backpressure/drop            flowCache over
+//		                          policy                  COW rule snapshot
 //
-//   - Packets are partitioned by the symmetric packet.Flow hash, so both
-//     directions of a conversation land on the same shard and all
-//     per-flow state (the exact-match flow cache) is owned by exactly one
-//     worker — no locks on the hot path.
-//   - Rule state lives in a ShardedTable: an atomically-published
-//     copy-on-write snapshot written by the control plane
-//     (sdncontroller/deployserver flow mods) and read lock-free by every
-//     worker.
-//   - Workers pull fixed-size batches from their ring to amortize queue
-//     synchronization, and recycle packet buffers through a sync.Pool.
-//   - Queues are bounded; the DropPolicy decides whether overload tail
-//     drops, head drops, or blocks the producer. Memory stays bounded
-//     either way.
+//	  - Packets are partitioned by the symmetric packet.Flow hash, so both
+//	    directions of a conversation land on the same shard and all
+//	    per-flow state (the exact-match flow cache) is owned by exactly one
+//	    worker — no locks on the hot path.
+//	  - Rule state lives in a ShardedTable: an atomically-published
+//	    copy-on-write snapshot written by the control plane
+//	    (sdncontroller/deployserver flow mods) and read lock-free by every
+//	    worker.
+//	  - Workers pull fixed-size batches from their ring to amortize queue
+//	    synchronization, and recycle packet buffers through a sync.Pool.
+//	  - Queues are bounded; the DropPolicy decides whether overload tail
+//	    drops, head drops, or blocks the producer. Memory stays bounded
+//	    either way.
 //
 // Middlebox chains: openflow.ChainExecutor implementations are invoked
 // concurrently from worker goroutines. A bare middlebox.Runtime is not

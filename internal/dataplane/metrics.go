@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pvn/internal/middlebox"
 	"pvn/internal/netsim"
 )
 
@@ -26,6 +27,7 @@ type shardCounters struct {
 	drops     atomic.Int64 // action/policy drops
 	tunnels   atomic.Int64
 	packetIns atomic.Int64
+	chainErrs atomic.Int64 // middlebox chain failures (box error/panic, broken fail-closed)
 
 	// Cumulative per-stage wall-clock nanoseconds.
 	decodeNs atomic.Int64
@@ -60,13 +62,22 @@ type ShardStats struct {
 	Bytes                                 int64
 	CacheHits                             int64
 	Outputs, Drops, Tunnels, PacketIns    int64
-	QueueDepth                            int
-	DecodeNs, LookupNs, ChainNs, TotalNs  int64
+	// ChainErrs counts packets whose middlebox chain failed on this
+	// shard (a box errored or panicked fail-closed, or a broken box's
+	// breaker dropped it). Always a subset of Drops.
+	ChainErrs                            int64
+	QueueDepth                           int
+	DecodeNs, LookupNs, ChainNs, TotalNs int64
 }
 
 // Stats aggregates the pipeline's per-shard counters.
 type Stats struct {
 	Shards []ShardStats
+	// Chain aggregates supervision counters (panics contained, breaker
+	// opens, restarts, bypasses, …) from every distinct chain executor
+	// the shards use — the middlebox runtime's verdict stream surfaced
+	// next to the packet counters it explains.
+	Chain middlebox.SupervisorStats
 }
 
 // Total sums the per-shard rows (QueueDepth sums occupancy).
@@ -83,6 +94,7 @@ func (s Stats) Total() ShardStats {
 		t.Drops += sh.Drops
 		t.Tunnels += sh.Tunnels
 		t.PacketIns += sh.PacketIns
+		t.ChainErrs += sh.ChainErrs
 		t.QueueDepth += sh.QueueDepth
 		t.DecodeNs += sh.DecodeNs
 		t.LookupNs += sh.LookupNs
@@ -104,6 +116,7 @@ func (c *shardCounters) snapshot(depth int) ShardStats {
 		Drops:      c.drops.Load(),
 		Tunnels:    c.tunnels.Load(),
 		PacketIns:  c.packetIns.Load(),
+		ChainErrs:  c.chainErrs.Load(),
 		QueueDepth: depth,
 		DecodeNs:   c.decodeNs.Load(),
 		LookupNs:   c.lookupNs.Load(),
@@ -112,11 +125,31 @@ func (c *shardCounters) snapshot(depth int) ShardStats {
 	}
 }
 
-// Stats returns a point-in-time copy of every shard's counters.
+// chainSupervisor is implemented by supervised chain executors
+// (middlebox.Runtime and middlebox.SyncExecutor).
+type chainSupervisor interface {
+	SupervisorStats() middlebox.SupervisorStats
+}
+
+// Stats returns a point-in-time copy of every shard's counters, plus
+// the aggregated supervision counters of the chain executors.
 func (p *Pipeline) Stats() Stats {
 	out := Stats{Shards: make([]ShardStats, len(p.shards))}
+	seen := make(map[chainSupervisor]bool)
 	for i, sh := range p.shards {
 		out.Shards[i] = sh.counters.snapshot(sh.queue.depth())
+		if sup, ok := sh.chains.(chainSupervisor); ok && !seen[sup] {
+			seen[sup] = true
+			s := sup.SupervisorStats()
+			out.Chain.Panics += s.Panics
+			out.Chain.BoxErrors += s.BoxErrors
+			out.Chain.BreakerOpens += s.BreakerOpens
+			out.Chain.Restarts += s.Restarts
+			out.Chain.Recoveries += s.Recoveries
+			out.Chain.Bypasses += s.Bypasses
+			out.Chain.SecurityBypasses += s.SecurityBypasses
+			out.Chain.BrokenDrops += s.BrokenDrops
+		}
 	}
 	return out
 }

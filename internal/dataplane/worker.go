@@ -93,6 +93,9 @@ loop:
 			c.chainNs.Add(time.Now().UnixNano() - tc)
 			delay += d
 			if err != nil || out == nil {
+				if err != nil {
+					c.chainErrs.Add(1)
+				}
 				c.drops.Add(1)
 				terminal = true
 				break loop

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"strconv"
 	"strings"
@@ -352,6 +353,73 @@ func TestE13LifecycleShape(t *testing.T) {
 	}
 }
 
+// TestE14SupervisionShape checks the supervised-execution acceptance
+// criteria: fail-open keeps >= 90% of packets flowing through the fault
+// storm while fail-closed drops them, restart restores scanning after
+// the storm, every fail-open bypass of the security box is a ledger
+// violation, and the whole thing is deterministic.
+func TestE14SupervisionShape(t *testing.T) {
+	p := DefaultE14
+	res := E14(p)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d, want 4 scenarios", len(res.Rows))
+	}
+	find := func(label string) []string {
+		for _, row := range res.Rows {
+			if row[0] == label {
+				return row
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return nil
+	}
+	phase := fmt.Sprintf("%d/%d", p.PacketsPerPhase, p.PacketsPerPhase)
+	none := fmt.Sprintf("0/%d", p.PacketsPerPhase)
+
+	// Fail-open: 100% delivered (>= the 90% criterion) in both phases,
+	// and every one of the 2*P packets that crossed the broken scanner
+	// is a violation.
+	open := find("fail-open, no restart")
+	if open[1] != phase || open[2] != phase {
+		t.Fatalf("fail-open delivery %v/%v, want %v both phases", open[1], open[2], phase)
+	}
+	if open[8] != fmt.Sprint(2*p.PacketsPerPhase) {
+		t.Fatalf("fail-open violations %v, want %d (one per bypassed packet)", open[8], 2*p.PacketsPerPhase)
+	}
+	// Fail-closed: nothing delivered, nothing bypassed, no violations.
+	closed := find("fail-closed, no restart")
+	if closed[1] != none || closed[2] != none {
+		t.Fatalf("fail-closed delivery %v/%v, want %v both phases", closed[1], closed[2], none)
+	}
+	if closed[7] != "0" || closed[8] != "0" {
+		t.Fatalf("fail-closed bypasses/violations %v/%v, want 0/0", closed[7], closed[8])
+	}
+	// Restart: phase-B traffic is delivered AND scanned (one PII alert
+	// per packet), for both policies.
+	for _, label := range []string{"fail-closed + restart", "fail-open + restart"} {
+		row := find(label)
+		if row[2] != phase {
+			t.Fatalf("%s post-restart delivery %v, want %v", label, row[2], phase)
+		}
+		if row[3] != fmt.Sprint(p.PacketsPerPhase) {
+			t.Fatalf("%s post-restart scanned %v, want %d (full coverage restored)", label, row[3], p.PacketsPerPhase)
+		}
+		if row[6] != "1" {
+			t.Fatalf("%s restarts %v, want 1", label, row[6])
+		}
+	}
+	// Breaker and panic containment: the storm panics exactly
+	// BreakerThreshold times before the breaker opens, in every scenario.
+	for _, row := range res.Rows {
+		if row[4] != fmt.Sprint(p.BreakerThreshold) {
+			t.Fatalf("%s panics %v, want exactly %d (threshold)", row[0], row[4], p.BreakerThreshold)
+		}
+		if row[5] != "1" {
+			t.Fatalf("%s breaker opens %v, want 1", row[0], row[5])
+		}
+	}
+}
+
 // TestE13NoGoroutineLeak: the whole lifecycle runs on the simulated
 // clock; an experiment run must not leave goroutines behind.
 func TestE13NoGoroutineLeak(t *testing.T) {
@@ -379,6 +447,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E8", func() string { p := DefaultE8; p.Trials = 6; return E8(p).String() }},
 		{"E10", func() string { return E10(DefaultE10).String() }},
 		{"E13", func() string { p := DefaultE13; p.Devices = 8; return E13(p).String() }},
+		{"E14", func() string { p := DefaultE14; p.PacketsPerPhase = 200; return E14(p).String() }},
 	}
 	for _, c := range pairs {
 		a, b := c.run(), c.run()

@@ -48,7 +48,8 @@ func (c *CaptureTap) Process(ctx *middlebox.Context, data []byte) ([]byte, middl
 // interleave records in one file).
 func RegisterCaptureTap(rt *middlebox.Runtime, newSink func() (io.Writer, error)) {
 	rt.Register(&middlebox.Spec{
-		Type: "pcap-tap",
+		Type:       "pcap-tap",
+		FailPolicy: middlebox.FailOpen, // capture failures never block traffic
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			if newSink == nil {
 				return nil, fmt.Errorf("pcap-tap: no capture sink configured on this host")

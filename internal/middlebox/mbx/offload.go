@@ -182,7 +182,8 @@ func renderHTML(html string) string {
 // of RegisterBuiltins so the cost models stay in one place.
 func registerOffload(rt *middlebox.Runtime) {
 	rt.Register(&middlebox.Spec{
-		Type: "replica-select",
+		Type:       "replica-select",
+		FailPolicy: middlebox.FailOpen, // a broken selector loses a latency win, nothing else
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			svc, err := packet.ParseIPv4(cfg["service"])
 			if err != nil {
@@ -213,6 +214,7 @@ func registerOffload(rt *middlebox.Runtime) {
 	})
 	rt.Register(&middlebox.Spec{
 		Type:           "web-render",
+		FailPolicy:     middlebox.FailOpen,
 		PerPacketDelay: 800 * time.Microsecond, // rendering is heavy
 		MemoryBytes:    48 << 20,
 		New: func(cfg map[string]string) (middlebox.Box, error) {

@@ -50,7 +50,9 @@ func (t *TCPProxy) Process(ctx *middlebox.Context, data []byte) ([]byte, middleb
 // is plainly heavier (transcoding) or lighter (classification).
 func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 	rt.Register(&middlebox.Spec{
-		Type: "tls-verify",
+		Type:       "tls-verify",
+		Security:   true,
+		FailPolicy: middlebox.FailClosed,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			if deps.TrustStore == nil {
 				return nil, fmt.Errorf("tls-verify requires a trust store")
@@ -61,7 +63,9 @@ func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 		},
 	})
 	rt.Register(&middlebox.Spec{
-		Type: "dns-validate",
+		Type:       "dns-validate",
+		Security:   true,
+		FailPolicy: middlebox.FailClosed,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			quorum := 0
 			if q := cfg["quorum"]; q != "" {
@@ -75,7 +79,9 @@ func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 		},
 	})
 	rt.Register(&middlebox.Spec{
-		Type: "pii-detect",
+		Type:       "pii-detect",
+		Security:   true,
+		FailPolicy: middlebox.FailClosed,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			mode := PIIMode(cfg["mode"])
 			switch mode {
@@ -92,6 +98,7 @@ func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 	})
 	rt.Register(&middlebox.Spec{
 		Type:           "classifier",
+		FailPolicy:     middlebox.FailOpen,    // losing classification loses a speedup, not safety
 		PerPacketDelay: 10 * time.Microsecond, // header-only work
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			return NewClassifier(), nil
@@ -99,6 +106,7 @@ func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 	})
 	rt.Register(&middlebox.Spec{
 		Type:           "transcoder",
+		FailPolicy:     middlebox.FailOpen,
 		PerPacketDelay: 500 * time.Microsecond, // media re-encode is heavy
 		MemoryBytes:    32 << 20,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
@@ -114,7 +122,9 @@ func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 		},
 	})
 	rt.Register(&middlebox.Spec{
-		Type: "tracker-block",
+		Type:       "tracker-block",
+		Security:   true,
+		FailPolicy: middlebox.FailClosed,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			var domains []string
 			if d := cfg["domains"]; d != "" {
@@ -124,7 +134,9 @@ func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 		},
 	})
 	rt.Register(&middlebox.Spec{
-		Type: "malware-scan",
+		Type:       "malware-scan",
+		Security:   true,
+		FailPolicy: middlebox.FailClosed,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			var sigs [][]byte
 			if s := cfg["signatures"]; s != "" {
@@ -137,6 +149,7 @@ func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 	})
 	rt.Register(&middlebox.Spec{
 		Type:           "compressor",
+		FailPolicy:     middlebox.FailOpen,
 		PerPacketDelay: 100 * time.Microsecond,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			return NewCompressor(), nil
@@ -144,25 +157,42 @@ func RegisterBuiltins(rt *middlebox.Runtime, deps Deps) {
 	})
 	rt.Register(&middlebox.Spec{
 		Type:        "prefetcher",
+		FailPolicy:  middlebox.FailOpen,
 		MemoryBytes: 16 << 20, // cache space
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			return NewPrefetcher(), nil
 		},
 	})
 	rt.Register(&middlebox.Spec{
-		Type: "tcp-proxy",
+		Type:       "tcp-proxy",
+		FailPolicy: middlebox.FailOpen,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			return NewTCPProxy(), nil
 		},
 	})
 	rt.Register(&middlebox.Spec{
-		Type: "user-script",
+		// Untrusted user code defaults to fail-closed: whatever the
+		// script was filtering must not silently flow when it breaks.
+		Type:       "user-script",
+		FailPolicy: middlebox.FailClosed,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			src := cfg["script"]
 			if src == "" {
 				return nil, fmt.Errorf("user-script requires cfg[script]")
 			}
 			return CompileScript(src)
+		},
+	})
+	rt.Register(&middlebox.Spec{
+		// Deterministic fault injection for supervision tests and
+		// experiments (E14); see FaultyBox.
+		Type: "faulty",
+		New: func(cfg map[string]string) (middlebox.Box, error) {
+			plan, seed, err := faultPlanFromConfig(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewFaultyBox(nil, plan, seed), nil
 		},
 	})
 	registerOffload(rt)

@@ -17,6 +17,7 @@ package middlebox
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pvn/internal/packet"
@@ -33,6 +34,11 @@ var (
 	ErrDuplicateChain  = errors.New("middlebox: chain already exists")
 	ErrDropped         = errors.New("middlebox: packet dropped by policy")
 	ErrInstanceunknown = errors.New("middlebox: unknown instance")
+	// ErrBoxPanic wraps a panic contained by the supervisor.
+	ErrBoxPanic = errors.New("middlebox: box panicked")
+	// ErrBoxBroken marks a packet dropped because a fail-closed
+	// instance's circuit breaker is open (or it is still rebooting).
+	ErrBoxBroken = errors.New("middlebox: instance broken (circuit open)")
 )
 
 // Verdict is a middlebox's decision about one packet.
@@ -49,8 +55,9 @@ const (
 // Context gives a middlebox controlled access to its environment.
 //
 // Concurrency: a Context is per-packet scratch state, created by the
-// runtime for one Box.Process call and used from exactly one goroutine.
-// It must not be retained across calls. Because Alert writes into the
+// runtime once per chain invocation and re-pointed at each hop's
+// instance; it is used from exactly one goroutine and must not be
+// retained across Process calls. Because Alert writes into the
 // shared runtime, a chain instance — and the Runtime hosting it — is
 // not goroutine-safe either: concurrent dataplane workers must either
 // serialize through Synchronized or run per-worker Runtime clones.
@@ -65,9 +72,12 @@ type Context struct {
 }
 
 // Alert records a security/privacy finding (blocked MITM, PII leak, …).
-// Alerts are the observable output of detection middleboxes.
+// Alerts are the observable output of detection middleboxes. The
+// runtime retains at most AlertCap recent alerts (a ring buffer): under
+// sustained traffic the oldest are evicted and counted, never an
+// unbounded heap.
 func (c *Context) Alert(kind, detail string) {
-	c.runtime.alerts = append(c.runtime.alerts, Alert{
+	c.runtime.pushAlert(Alert{
 		Owner: c.Owner, Instance: c.instance.ID, Kind: kind, Detail: detail, At: c.Now,
 	})
 	c.instance.Alerts++
@@ -108,6 +118,15 @@ type Spec struct {
 	// PerPacketDelay is processing cost per packet. Zero defaults to
 	// 45 µs.
 	PerPacketDelay time.Duration
+	// FailPolicy is the type's default behavior when an instance is
+	// broken or faults on a packet; instances can override it with
+	// cfg["fail"] = "open"|"closed". PolicyDefault resolves through
+	// SupervisorConfig.DefaultPolicy to FailClosed.
+	FailPolicy FailPolicy
+	// Security marks detection/enforcement boxes (tls-verify,
+	// pii-detect, …): a fail-open bypass of one is a policy violation
+	// the auditor must see, not a harmless optimization loss.
+	Security bool
 }
 
 // Paper-cited defaults (§3.3, [24] ClickOS).
@@ -145,14 +164,27 @@ type Instance struct {
 	Spec  *Spec
 	Box   Box
 	// ReadyAt is when boot completes; packets before that fail with
-	// ErrNotBooted.
+	// ErrNotBooted (first boot) or follow the failure policy (reboots).
 	ReadyAt time.Duration
+	// Policy is the resolved failure policy (config > spec > runtime
+	// default > FailClosed), fixed at Instantiate.
+	Policy FailPolicy
 
 	// Counters.
 	Packets, Drops, Errors, Alerts int64
-	Bytes                          int64
+	// Panics counts contained Process panics; Restarts counts
+	// supervisor reboots; Bypasses counts packets that crossed this
+	// box unprocessed (fail-open); Unavailable counts packets dropped
+	// by fail-closed unavailability.
+	Panics, Restarts, Bypasses, Unavailable int64
+	Bytes                                   int64
 	// CPUTime accumulates modelled processing time, the billing input.
 	CPUTime time.Duration
+
+	// cfg is retained for supervisor restarts via Spec.New.
+	cfg map[string]string
+	// hlt is the supervisor's health state.
+	hlt health
 }
 
 // Chain is an ordered middlebox pipeline plus its isolation scope.
@@ -163,7 +195,20 @@ type Chain struct {
 	// OwnerAddrs, when non-empty, restricts the chain to packets whose
 	// source or destination is one of these addresses.
 	OwnerAddrs []packet.IPv4Address
+
+	// residueClosed is set when Terminate removes a fail-closed box
+	// from this chain: if the chain ends up empty it drops traffic
+	// instead of silently passing everything the removed box would
+	// have filtered.
+	residueClosed bool
 }
+
+// FailClosedResidue reports whether a terminated fail-closed box has
+// left its mark on this chain (an emptied chain then drops traffic).
+func (c *Chain) FailClosedResidue() bool { return c.residueClosed }
+
+// DefaultAlertCap bounds the runtime's alert ring when AlertCap is 0.
+const DefaultAlertCap = 4096
 
 // Runtime hosts instances and chains on one middlebox server.
 type Runtime struct {
@@ -171,13 +216,31 @@ type Runtime struct {
 	Now func() time.Duration
 	// MemoryCapBytes bounds total instance memory. Zero means 1 GiB.
 	MemoryCapBytes int
+	// AlertCap bounds the retained alert ring. Zero means
+	// DefaultAlertCap; the oldest alerts are evicted (and counted in
+	// AlertsDropped) once the ring is full.
+	AlertCap int
+	// Supervisor tunes panic isolation, circuit breaking and restart.
+	// The zero value is live (see SupervisorConfig).
+	Supervisor SupervisorConfig
+	// OnEvent, when set, receives every supervision event (panics,
+	// breaker transitions, restarts, bypasses). Called inline from
+	// chain execution — keep it cheap and non-blocking.
+	OnEvent func(SupEvent)
 
 	registry  map[string]*Spec
 	instances map[string]*Instance
 	chains    map[string]*Chain
 	memUsed   int
 	nextID    int
-	alerts    []Alert
+
+	// alerts is a ring: once len == alertCap(), alertHead is the
+	// oldest element and new alerts overwrite it.
+	alerts        []Alert
+	alertHead     int
+	alertsDropped atomic.Int64
+
+	sup supCounters
 }
 
 // NewRuntime builds an empty runtime. now may be nil (time zero).
@@ -228,6 +291,19 @@ func (r *Runtime) Instantiate(owner, typ string, cfg map[string]string) (*Instan
 	if r.memUsed+spec.memory() > r.memCap() {
 		return nil, fmt.Errorf("%w: need %d, %d of %d in use", ErrMemoryExceeded, spec.memory(), r.memUsed, r.memCap())
 	}
+	pol, err := ParseFailPolicy(cfg["fail"])
+	if err != nil {
+		return nil, err
+	}
+	if pol == PolicyDefault {
+		pol = spec.FailPolicy
+	}
+	if pol == PolicyDefault {
+		pol = r.Supervisor.DefaultPolicy
+	}
+	if pol == PolicyDefault {
+		pol = FailClosed
+	}
 	box, err := spec.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("middlebox: instantiate %q: %w", typ, err)
@@ -239,6 +315,8 @@ func (r *Runtime) Instantiate(owner, typ string, cfg map[string]string) (*Instan
 		Spec:    spec,
 		Box:     box,
 		ReadyAt: r.Now() + spec.boot(),
+		Policy:  pol,
+		cfg:     cfg,
 	}
 	r.instances[inst.ID] = inst
 	r.memUsed += spec.memory()
@@ -253,15 +331,24 @@ func (r *Runtime) Terminate(id string) error {
 	}
 	delete(r.instances, id)
 	r.memUsed -= inst.Spec.memory()
-	// Remove it from any chains that reference it.
+	// Remove it from any chains that reference it. A chain that loses
+	// a fail-closed box remembers that: if it is ever emptied this
+	// way it drops traffic rather than passing everything the removed
+	// box was there to filter.
 	for _, c := range r.chains {
 		kept := c.Boxes[:0]
+		removed := false
 		for _, b := range c.Boxes {
 			if b.ID != id {
 				kept = append(kept, b)
+			} else {
+				removed = true
 			}
 		}
 		c.Boxes = kept
+		if removed && inst.Policy == FailClosed {
+			c.residueClosed = true
+		}
 	}
 	return nil
 }
@@ -382,14 +469,38 @@ func (r *Runtime) run(c *Chain, data []byte) ([]byte, time.Duration, error) {
 			return nil, 0, fmt.Errorf("%w: chain %s/%s", ErrIsolation, c.Owner, c.Name)
 		}
 	}
+	if len(c.Boxes) == 0 && c.residueClosed {
+		return nil, 0, fmt.Errorf("%w: chain %s/%s emptied of fail-closed boxes", ErrDropped, c.Owner, c.Name)
+	}
 
+	// One Context per chain invocation, re-pointed per hop: the hot
+	// path allocates once, not once per box.
+	ctx := Context{Owner: c.Owner, runtime: r}
 	cur := data
 	for _, inst := range c.Boxes {
-		if now < inst.ReadyAt {
-			return nil, delay, fmt.Errorf("%w: %s ready at %v, now %v", ErrNotBooted, inst.ID, inst.ReadyAt, now)
+		at := now + delay
+		if inst.hlt.state == Broken {
+			r.maybeRestart(inst, at)
 		}
-		ctx := &Context{Owner: c.Owner, Now: now + delay, runtime: r, instance: inst}
-		out, v, err := inst.Box.Process(ctx, cur)
+		if inst.hlt.state == Broken || (at < inst.ReadyAt && inst.Restarts > 0) {
+			// Unavailable (breaker open, or rebooting after a
+			// restart): the failure policy decides, without running
+			// user code.
+			if inst.Policy == FailOpen {
+				r.noteBypass(inst, at, "unavailable")
+				continue
+			}
+			inst.Unavailable++
+			r.sup.brokenDrops.Add(1)
+			r.instEvent(EventBrokenDrop, inst, at, "fail-closed while broken")
+			return nil, delay, fmt.Errorf("middlebox %s: %w", inst.ID, ErrBoxBroken)
+		}
+		if at < inst.ReadyAt {
+			return nil, delay, fmt.Errorf("%w: %s ready at %v, now %v", ErrNotBooted, inst.ID, inst.ReadyAt, at)
+		}
+		ctx.Now = at
+		ctx.instance = inst
+		out, v, err, panicked := callBox(&ctx, inst.Box, cur)
 		inst.Packets++
 		inst.Bytes += int64(len(cur))
 		pp := inst.Spec.perPacket()
@@ -397,8 +508,24 @@ func (r *Runtime) run(c *Chain, data []byte) ([]byte, time.Duration, error) {
 		delay += pp
 		if err != nil {
 			inst.Errors++
+			if panicked {
+				inst.Panics++
+				r.sup.panics.Add(1)
+				r.instEvent(EventPanic, inst, at, err.Error())
+			} else {
+				r.sup.boxErrors.Add(1)
+				r.instEvent(EventBoxError, inst, at, err.Error())
+			}
+			r.recordFailure(inst, at)
+			if inst.Policy == FailOpen {
+				// The box's work is lost but the packet survives:
+				// continue unmodified past the faulty hop.
+				r.noteBypass(inst, at, "fault")
+				continue
+			}
 			return nil, delay, fmt.Errorf("middlebox %s: %w", inst.ID, err)
 		}
+		r.recordSuccess(inst, at)
 		if v == VerdictDrop {
 			inst.Drops++
 			return nil, delay, nil
@@ -424,16 +551,48 @@ func (r *Runtime) packetBelongsTo(c *Chain, data []byte) bool {
 	return false
 }
 
-// Alerts returns alerts recorded for owner (all owners when owner is "").
-func (r *Runtime) Alerts(owner string) []Alert {
-	if owner == "" {
-		return append([]Alert(nil), r.alerts...)
+func (r *Runtime) alertCap() int {
+	if r.AlertCap <= 0 {
+		return DefaultAlertCap
 	}
+	return r.AlertCap
+}
+
+// pushAlert appends to the bounded alert ring, evicting (and counting)
+// the oldest alert once the ring is full.
+func (r *Runtime) pushAlert(a Alert) {
+	max := r.alertCap()
+	if len(r.alerts) < max {
+		r.alerts = append(r.alerts, a)
+		return
+	}
+	// Ring shrank? (AlertCap lowered between calls.) Drop the excess.
+	for len(r.alerts) > max {
+		r.alerts = append(r.alerts[:r.alertHead], r.alerts[r.alertHead+1:]...)
+		if r.alertHead >= len(r.alerts) {
+			r.alertHead = 0
+		}
+		r.alertsDropped.Add(1)
+	}
+	r.alerts[r.alertHead] = a
+	r.alertHead = (r.alertHead + 1) % len(r.alerts)
+	r.alertsDropped.Add(1)
+}
+
+// Alerts returns alerts recorded for owner (all owners when owner is
+// ""), oldest first. Only the newest alertCap() alerts are retained;
+// AlertsDropped counts the evicted remainder.
+func (r *Runtime) Alerts(owner string) []Alert {
 	var out []Alert
-	for _, a := range r.alerts {
-		if a.Owner == owner {
+	n := len(r.alerts)
+	for i := 0; i < n; i++ {
+		a := r.alerts[(r.alertHead+i)%n]
+		if owner == "" || a.Owner == owner {
 			out = append(out, a)
 		}
 	}
 	return out
 }
+
+// AlertsDropped reports how many alerts the bounded ring has evicted.
+func (r *Runtime) AlertsDropped() int64 { return r.alertsDropped.Load() }

@@ -35,6 +35,11 @@ func (s *SyncExecutor) ExecuteChain(chain string, data []byte) ([]byte, time.Dur
 	return s.rt.ExecuteChain(chain, data)
 }
 
+// SupervisorStats exposes the wrapped runtime's supervision counters to
+// metrics pollers (e.g. dataplane.Pipeline.Stats). The counters are
+// atomic, so this does not contend with chain execution.
+func (s *SyncExecutor) SupervisorStats() SupervisorStats { return s.rt.SupervisorStats() }
+
 // Runtime returns the wrapped runtime for control-plane configuration
 // (instantiation, chain building). Those calls must not race with
 // ExecuteChain; perform them before traffic starts or behind the same

@@ -20,6 +20,33 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x45})
 
+	// Malformed-header seeds, so even the minimum corpus exercises the
+	// decoder's bounds checks rather than only the happy paths.
+	if len(udpFrame) > 0 {
+		badIHL := append([]byte(nil), udpFrame...)
+		badIHL[0] = 0x4f // IHL=15: 60-byte header claimed, frame is shorter
+		f.Add(badIHL)
+		tinyIHL := append([]byte(nil), udpFrame...)
+		tinyIHL[0] = 0x42 // IHL=2: below the minimum 5
+		f.Add(tinyIHL)
+	}
+	ipOnly, _ := SerializeToBytes(ip, tcp, Payload("x"))
+	if len(ipOnly) > 24 {
+		f.Add(ipOnly[:24]) // TCP header truncated mid-way
+	}
+	frag := &IPv4{Src: srcIP, Dst: dstIP, Protocol: IPProtoTCP, Flags: 1 /* MF */, FragOff: 8}
+	fragFrame, _ := SerializeToBytes(frag, Payload("fragment tail bytes"))
+	f.Add(fragFrame)
+	// IHL=6: a 24-byte header carrying one 4-byte option (record-route
+	// shape), followed by a UDP header. Checksum is wrong on purpose —
+	// the rejection path is a path too.
+	f.Add([]byte{
+		0x46, 0, 0, 32, 0, 0, 0, 0, 64, 17, 0, 0,
+		10, 0, 0, 5, 93, 184, 216, 34, // src, dst
+		7, 4, 0, 0, // record-route option
+		0, 53, 0, 53, 0, 8, 0, 0, // UDP header
+	})
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, first := range []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeTCP, LayerTypeUDP} {
 			p := Decode(data, first)
