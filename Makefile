@@ -1,8 +1,9 @@
 # Personal Virtual Networks — build/test/reproduce targets.
 
 GO ?= go
+STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet test race test-race fuzz-short check bench experiments examples cover clean
+.PHONY: all build vet lint test race test-race fuzz-short check bench experiments examples cover clean
 
 all: build vet test
 
@@ -11,6 +12,21 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: staticcheck when it is installed (or fetchable), with
+# a `go vet` fallback so offline/minimal environments still get a lint
+# pass instead of a hard failure.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "lint: staticcheck ($$(staticcheck --version 2>/dev/null))"; \
+		staticcheck ./...; \
+	elif $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) --version >/dev/null 2>&1; then \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) via go run"; \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "lint: staticcheck unavailable (offline?); falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -32,8 +48,8 @@ test-race:
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/packet/
 
-# The pre-merge gate: build, vet, full tests, full race pass, short fuzz.
-check: build vet test race fuzz-short
+# The pre-merge gate: build, lint, full tests, full race pass, short fuzz.
+check: build lint test race fuzz-short
 
 # One iteration of every benchmark (experiments E1-E12 + micro-benches).
 bench:

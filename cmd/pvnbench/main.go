@@ -129,6 +129,14 @@ var all = []experiment{
 		}
 		return experiments.E14(p)
 	}},
+	{"E15", "resilient roaming: probed failover, make-before-break", func(q bool) *experiments.Result {
+		p := experiments.DefaultE15
+		if q {
+			p.RunFor = 200 * time.Millisecond
+			p.OutageEnd = 160 * time.Millisecond
+		}
+		return experiments.E15(p)
+	}},
 }
 
 func main() {

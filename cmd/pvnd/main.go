@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"pvn/internal/core"
 	"pvn/internal/dataplane"
 	"pvn/internal/deployserver"
 	"pvn/internal/discovery"
@@ -246,6 +247,9 @@ func clientMain(args []string) {
 	timeout := fs.Duration("timeout", 15*time.Second, "overall deadline for reaching a deployment")
 	fallback := fs.String("fallback-tunnel", "", "trusted remote PVN address to tunnel to when the daemon yields no deployment (empty = fail hard)")
 	fallbackRTT := fs.Duration("fallback-rtt", 80*time.Millisecond, "interdomain RTT penalty assumed for -fallback-tunnel")
+	probeInterval := fs.Duration("tunnel-probe-interval", 50*time.Millisecond, "health-probe cadence for tunnel endpoints")
+	downThreshold := fs.Int("tunnel-down-threshold", 4, "lost probes within the health window that mark a tunnel endpoint down")
+	drainDeadline := fs.Duration("roam-drain-deadline", core.DefaultDrainDeadline, "how long in-flight flows may drain through the old network after a make-before-break roam")
 	fs.Parse(args)
 
 	if *pvncPath == "" {
@@ -274,9 +278,19 @@ func clientMain(args []string) {
 			log.Fatalf("pvnd client: %s; bad -fallback-tunnel: %v", why, err)
 		}
 		tt := tunnel.NewTable(cfg.Device)
+		tt.Health = tunnel.HealthConfig{ProbeInterval: *probeInterval, DownThreshold: *downThreshold}
+		// Health transitions, not per-probe events: a flapping endpoint
+		// must not become a log storm.
+		tt.OnEvent = func(ev tunnel.Event) {
+			log.Printf("pvnd client: tunnel %s: %s -> %s — %s", ev.Endpoint, ev.From, ev.To, ev.Detail)
+		}
+		tt.OnFailover = func(f packet.Flow, from, to string) {
+			log.Printf("pvnd client: tunnel failover: flow re-pinned %s -> %s", from, to)
+		}
 		tt.Add(&tunnel.Endpoint{Name: "fallback", Addr: addr, ExtraRTT: *fallbackRTT, Trusted: true})
 		ep, _ := tt.BestTrusted()
-		log.Printf("pvnd client: %s; falling back to tunnel via %s (%s, +%v RTT)", why, ep.Name, *fallback, ep.ExtraRTT)
+		log.Printf("pvnd client: %s; falling back to tunnel via %s (%s, +%v RTT, probes every %v, down after %d lost)",
+			why, ep.Name, *fallback, ep.ExtraRTT, *probeInterval, *downThreshold)
 		os.Exit(0)
 	}
 
@@ -301,6 +315,7 @@ func clientMain(args []string) {
 		return &resp
 	}
 
+	log.Printf("pvnd client: roam policy: make-before-break, drain deadline %v", *drainDeadline)
 	neg := discovery.NewNegotiator(*deviceID, cfg, *budget, discovery.StrategyReduce)
 	backoff := discovery.Backoff{Initial: *retryBackoff}
 	deadline := time.Now().Add(*timeout)

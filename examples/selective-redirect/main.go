@@ -126,7 +126,7 @@ func main() {
 
 	fmt.Println("\ntunnel accounting (only sensitive flows paid the detour):")
 	for _, name := range device.Tunnels.Names() {
-		fmt.Printf("  %-6s sent=%d packets bytes=%d\n", name, device.Tunnels.Sent[name], device.Tunnels.Bytes[name])
+		fmt.Printf("  %-6s sent=%d packets bytes=%d\n", name, device.Tunnels.Sent(name), device.Tunnels.Bytes(name))
 	}
 }
 

@@ -266,3 +266,31 @@ func TestRankSumTiesHandled(t *testing.T) {
 		t.Fatalf("all-ties z = %v, want 0", z)
 	}
 }
+
+// TestLedgerRedirections: redirection decisions are evidence, recorded
+// under the provider the traffic moved away from, without touching
+// reputations.
+func TestLedgerRedirections(t *testing.T) {
+	l := NewLedger()
+	l.RecordRedirection(Redirection{
+		Provider: "isp1", From: "in-network:isp1", To: "in-network:isp2",
+		Reason: "roam", At: 5 * time.Millisecond,
+	})
+	l.RecordRedirection(Redirection{
+		Provider: "cloud", From: "tunnel:cloud", To: "tunnel:home",
+		Reason: "endpoint down", At: 9 * time.Millisecond,
+	})
+	if got := l.Redirections("isp1"); len(got) != 1 || got[0].To != "in-network:isp2" {
+		t.Fatalf("isp1 redirections %+v", got)
+	}
+	if got := l.Redirections("cloud"); len(got) != 1 || got[0].Reason != "endpoint down" {
+		t.Fatalf("cloud redirections %+v", got)
+	}
+	if l.Redirections("ghost") != nil {
+		t.Fatal("phantom redirections")
+	}
+	// Evidence, not violations: reputation unaffected.
+	if l.Reputation("isp1") != 1 {
+		t.Fatalf("reputation moved: %v", l.Reputation("isp1"))
+	}
+}

@@ -10,8 +10,9 @@ import (
 // disputes, and to inform reputations for PVN providers" (§3.1); repeat
 // offenders get blacklisted and lose business (§3.3).
 type Ledger struct {
-	violations map[string][]Violation
-	audits     map[string]int
+	violations   map[string][]Violation
+	audits       map[string]int
+	redirections map[string][]Redirection
 	// BlacklistThreshold is the violation rate (violations per audit)
 	// at which a provider is blacklisted. Zero defaults to 0.5.
 	BlacklistThreshold float64
@@ -88,6 +89,35 @@ func (l *Ledger) Ranked() []string {
 		return out[i] < out[j]
 	})
 	return out
+}
+
+// Redirection is one recorded redirection decision: a handover between
+// access networks, or a tunnel failover between PVN locations. These are
+// evidence, not violations — audits and billing disputes reconstruct
+// where a device's traffic went and why it moved (§3.3).
+type Redirection struct {
+	// Provider is the network or endpoint the traffic moved away from.
+	Provider string
+	// From and To describe the old and new attachment (e.g.
+	// "in-network:isp1", "tunnel:home").
+	From, To string
+	// Reason says why ("roam", "endpoint down").
+	Reason string
+	At     time.Duration
+}
+
+// RecordRedirection stores one redirection decision under the provider
+// traffic moved away from.
+func (l *Ledger) RecordRedirection(r Redirection) {
+	if l.redirections == nil {
+		l.redirections = make(map[string][]Redirection)
+	}
+	l.redirections[r.Provider] = append(l.redirections[r.Provider], r)
+}
+
+// Redirections returns the recorded redirections away from a provider.
+func (l *Ledger) Redirections(provider string) []Redirection {
+	return append([]Redirection(nil), l.redirections[provider]...)
 }
 
 // Dispute is a billing dispute backed by audit evidence.

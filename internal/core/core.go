@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"pvn/internal/auditor"
@@ -21,6 +22,7 @@ import (
 	"pvn/internal/deployserver"
 	"pvn/internal/discovery"
 	"pvn/internal/middlebox"
+	"pvn/internal/netsim"
 	"pvn/internal/openflow"
 	"pvn/internal/packet"
 	"pvn/internal/pki"
@@ -54,6 +56,10 @@ type Device struct {
 	// Vendors is the platform-vendor trust store attestations verify
 	// against.
 	Vendors *pki.TrustStore
+	// Ledger, when set, receives redirection evidence: handovers and
+	// tunnel failovers are recorded so audits can reconstruct where the
+	// device's traffic went and why.
+	Ledger *auditor.Ledger
 
 	nonce uint64
 }
@@ -73,6 +79,10 @@ type AccessNetwork struct {
 	Now func() time.Duration
 	// Tariff prices usage for invoicing.
 	Tariff billing.Tariff
+	// Faults, when set, models this network's control channel: discovery
+	// and deployment exchanges the injector cuts are lost in transit (the
+	// device simply sees no offer, or no ACK).
+	Faults *netsim.FaultInjector
 
 	// AttestationLies, when set, makes the provider attest to the
 	// device's requested hash regardless of what actually runs — the
@@ -116,10 +126,47 @@ type Session struct {
 	TunnelEndpoint *tunnel.Endpoint
 	// Messages narrates the lifecycle for logs and examples.
 	Messages []string
+
+	// flows tracks the canonical flows this session has carried, so a
+	// handover knows which conversations to drain through the old chains
+	// (BeginRoam). Guarded by flowMu: sessions may be processed from
+	// dataplane workers.
+	flowMu sync.Mutex
+	flows  map[packet.Flow]bool
 }
 
 func (s *Session) logf(format string, args ...interface{}) {
 	s.Messages = append(s.Messages, fmt.Sprintf(format, args...))
+}
+
+// flowOf extracts the canonical 5-tuple from a raw IPv4 packet.
+func flowOf(data []byte) (packet.Flow, bool) {
+	f, ok := packet.FlowOf(packet.Decode(data, packet.LayerTypeIPv4))
+	if !ok {
+		return packet.Flow{}, false
+	}
+	return f.Canonical(), true
+}
+
+// noteFlow remembers that this session carried the flow.
+func (s *Session) noteFlow(f packet.Flow) {
+	s.flowMu.Lock()
+	if s.flows == nil {
+		s.flows = make(map[packet.Flow]bool)
+	}
+	s.flows[f] = true
+	s.flowMu.Unlock()
+}
+
+// activeFlows snapshots the flows the session has carried.
+func (s *Session) activeFlows() map[packet.Flow]bool {
+	s.flowMu.Lock()
+	defer s.flowMu.Unlock()
+	out := make(map[packet.Flow]bool, len(s.flows))
+	for f := range s.flows {
+		out[f] = true
+	}
+	return out
 }
 
 // Connect runs discovery and deployment against the networks in range
@@ -138,6 +185,9 @@ func Connect(dev *Device, networks []*AccessNetwork) (*Session, error) {
 	for _, n := range networks {
 		if n.Server == nil || n.Provider == nil {
 			continue
+		}
+		if n.Faults != nil && n.Faults.Cut(n.clock()()) {
+			continue // DM lost in transit; this provider never answers
 		}
 		if offer := n.Server.HandleDM(dm); offer != nil {
 			offers = append(offers, offer)
@@ -181,6 +231,10 @@ func Connect(dev *Device, networks []*AccessNetwork) (*Session, error) {
 // It reports whether the session is established.
 func (s *Session) deploy(n *AccessNetwork, neg *discovery.Negotiator, offer *discovery.Offer, dec discovery.Decision) bool {
 	req := neg.BuildDeployRequest(offer, dec)
+	if n.Faults != nil && n.Faults.Cut(n.clock()()) {
+		s.logf("deploy to %s lost in transit", n.Name)
+		return false
+	}
 	resp := n.Server.HandleDeploy(req)
 	if !resp.OK {
 		s.logf("deploy NACK from %s: %s", n.Name, resp.Reason)
@@ -228,18 +282,28 @@ func (s *Session) renegotiate(neg *discovery.Negotiator, offers []*discovery.Off
 }
 
 // Process runs one raw IPv4 packet through the session's data plane and
-// returns the switch disposition. In tunneled mode the packet is
-// encapsulated first (the disposition then describes the outer packet).
+// returns the switch disposition. In tunneled mode the packet is routed
+// through the tunnel table — so a probed-dead endpoint fails over to the
+// best live one — and encapsulated (the disposition then describes the
+// outer packet).
 func (s *Session) Process(data []byte, inPort uint16) (openflow.Disposition, error) {
+	flow, flowOK := flowOf(data)
+	if flowOK {
+		s.noteFlow(flow)
+	}
 	switch s.Mode {
 	case ModeInNetwork:
 		return s.Network.Server.Switch.Process(data, inPort), nil
 	case ModeTunneled:
-		outer, _, err := s.Device.Tunnels.Wrap(s.TunnelEndpoint.Name, data)
+		name := s.TunnelEndpoint.Name
+		if flowOK {
+			name, _ = s.Device.Tunnels.Route(name, flow)
+		}
+		outer, _, err := s.Device.Tunnels.Wrap(name, data)
 		if err != nil {
 			return openflow.Disposition{}, err
 		}
-		return openflow.Disposition{Verdict: openflow.VerdictTunnel, TunnelName: s.TunnelEndpoint.Name, Data: outer}, nil
+		return openflow.Disposition{Verdict: openflow.VerdictTunnel, TunnelName: name, Data: outer}, nil
 	default:
 		return openflow.Disposition{Verdict: openflow.VerdictOutput, Data: data, Port: 1}, nil
 	}
@@ -305,22 +369,6 @@ func (s *Session) Audit(nowSeconds int64) error {
 	return auditor.VerifyAttestation(att, s.Device.Vendors, s.Decision.FinalConfig.Hash(), nonce, nowSeconds)
 }
 
-// Roam moves the device to a new set of access networks — the paper's
-// headline user experience ("the illusion that they are in the same,
-// fully controlled and customized network environment regardless of
-// which access network they connect to"). The old deployment is torn
-// down (its invoice returned) and the same configuration is negotiated
-// onto the best new network; the new session may run in a different
-// mode if the new environment offers less.
-func Roam(s *Session, networks []*AccessNetwork) (*Session, *billing.Invoice, error) {
-	inv, err := s.Teardown()
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: roam teardown: %w", err)
-	}
-	next, err := Connect(s.Device, networks)
-	return next, inv, err
-}
-
 // Teardown removes the in-network deployment and returns the final
 // invoice under the network's tariff (nil in non-deployed modes).
 func (s *Session) Teardown() (*billing.Invoice, error) {
@@ -332,16 +380,22 @@ func (s *Session) Teardown() (*billing.Invoice, error) {
 	if err != nil {
 		return nil, err
 	}
+	inv := s.invoiceFor(bytes)
+	s.Mode = ModeBare
+	s.logf("teardown: %d bytes carried, invoice %d micro", bytes, inv.TotalMicro)
+	return inv, nil
+}
+
+// invoiceFor prices the session's deployment for the given byte count
+// under the network's tariff.
+func (s *Session) invoiceFor(bytes int64) *billing.Invoice {
 	var types []string
 	for _, m := range s.Decision.FinalConfig.Middleboxes {
 		types = append(types, m.Type)
 	}
-	inv := billing.GenerateInvoice(s.Network.Name, s.Network.Tariff, billing.Usage{
+	return billing.GenerateInvoice(s.Network.Name, s.Network.Tariff, billing.Usage{
 		User:        s.Device.Config.Owner,
 		ModuleTypes: types,
 		Bytes:       bytes,
 	})
-	s.Mode = ModeBare
-	s.logf("teardown: %d bytes carried, invoice %d micro", bytes, inv.TotalMicro)
-	return inv, nil
 }

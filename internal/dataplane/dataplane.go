@@ -42,6 +42,7 @@ import (
 
 	"pvn/internal/openflow"
 	"pvn/internal/packet"
+	"pvn/internal/tunnel"
 )
 
 // Config parameterizes a Pipeline. The zero value is usable: GOMAXPROCS
@@ -66,10 +67,18 @@ type Config struct {
 	// the cloned-per-worker alternative that scales chain execution.
 	ChainsFor func(shard int) openflow.ChainExecutor
 
+	// Tunnels, when set, makes tunnel dispatch health-aware: each
+	// tunnel-action packet is routed through the table (Table.Route), so
+	// flows pinned to a probed-dead endpoint fail over to the best live
+	// one before OnTunnel sees them. The table is safe under concurrent
+	// workers; its failover counters surface in Stats().Tunnel.
+	Tunnels *tunnel.Table
+
 	// OnOutput receives forwarded packets. The data slice is only valid
 	// for the duration of the call (the buffer is recycled after).
 	OnOutput func(port uint16, data []byte)
-	// OnTunnel receives packets dispatched to a named tunnel.
+	// OnTunnel receives packets dispatched to a named tunnel (after any
+	// Tunnels failover rerouting).
 	OnTunnel func(name string, data []byte)
 	// OnController receives table-miss punts.
 	OnController func(inPort uint16, data []byte)

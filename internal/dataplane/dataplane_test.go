@@ -9,6 +9,7 @@ import (
 	"pvn/internal/openflow"
 	"pvn/internal/packet"
 	"pvn/internal/trace"
+	"pvn/internal/tunnel"
 )
 
 // passBox is a minimal middlebox for pipeline tests.
@@ -417,4 +418,63 @@ func mustFrame(t testing.TB, src, dst string, sport, dport uint16) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+// TestTunnelFailoverUnderWorkers: with a tunnel table attached, workers
+// route tunnel-action packets health-aware. When the primary endpoint
+// goes down mid-stream, every flow re-pins to the standby exactly once,
+// concurrently, and the counters surface in Stats().Tunnel.
+func TestTunnelFailoverUnderWorkers(t *testing.T) {
+	tbl := tunnel.NewTable(packet.MustParseIPv4("10.0.0.5"))
+	tbl.Health = tunnel.HealthConfig{Window: 8, DownThreshold: 2}
+	tbl.Add(&tunnel.Endpoint{Name: "wg0", Addr: packet.MustParseIPv4("198.51.100.50"), Trusted: true})
+	tbl.Add(&tunnel.Endpoint{Name: "backup", Addr: packet.MustParseIPv4("203.0.113.80"), Trusted: true})
+
+	var mu sync.Mutex
+	perName := map[string]int{}
+	p := New(Config{
+		Shards: 4, Policy: Block, Tunnels: tbl,
+		OnTunnel: func(name string, data []byte) {
+			mu.Lock()
+			perName[name]++
+			mu.Unlock()
+		},
+	})
+	installRules(t, p.Table())
+	p.Start()
+	defer p.Stop()
+
+	const flows, rounds = 32, 10
+	mk := func(sport uint16) []byte { return mustFrame(t, "10.0.0.5", "93.184.216.34", sport, 443) }
+
+	for i := 0; i < flows; i++ {
+		p.Submit(mk(uint16(41000+i)), 0)
+	}
+	p.Drain()
+
+	// The primary dies; every subsequent packet must reach the standby.
+	tbl.RecordProbe("wg0", false, 0, 1)
+	tbl.RecordProbe("wg0", false, 0, 2)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < flows; i++ {
+			p.Submit(mk(uint16(41000+i)), 0)
+		}
+	}
+	p.Drain()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if perName["wg0"] != flows {
+		t.Fatalf("primary carried %d packets, want %d", perName["wg0"], flows)
+	}
+	if perName["backup"] != flows*rounds {
+		t.Fatalf("standby carried %d packets, want %d", perName["backup"], flows*rounds)
+	}
+	st := p.Stats()
+	if st.Tunnel.Failovers != flows {
+		t.Fatalf("failovers %d, want %d (one per flow)", st.Tunnel.Failovers, flows)
+	}
+	if tbl.PinnedTo("backup") != flows {
+		t.Fatalf("pinned to backup: %d", tbl.PinnedTo("backup"))
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"pvn/internal/middlebox"
 	"pvn/internal/netsim"
+	"pvn/internal/tunnel"
 )
 
 // shardCounters is the hot-path metrics block for one shard. Producers
@@ -78,6 +79,10 @@ type Stats struct {
 	// the shards use — the middlebox runtime's verdict stream surfaced
 	// next to the packet counters it explains.
 	Chain middlebox.SupervisorStats
+	// Tunnel is the attached tunnel table's snapshot (endpoint health,
+	// per-endpoint usage, failover counts); zero when Config.Tunnels is
+	// unset.
+	Tunnel tunnel.Stats
 }
 
 // Total sums the per-shard rows (QueueDepth sums occupancy).
@@ -150,6 +155,9 @@ func (p *Pipeline) Stats() Stats {
 			out.Chain.SecurityBypasses += s.SecurityBypasses
 			out.Chain.BrokenDrops += s.BrokenDrops
 		}
+	}
+	if p.cfg.Tunnels != nil {
+		out.Tunnel = p.cfg.Tunnels.Stats()
 	}
 	return out
 }

@@ -76,8 +76,12 @@ loop:
 
 		case openflow.ActionTypeTunnel:
 			c.tunnels.Add(1)
+			name := a.Tunnel
+			if p.cfg.Tunnels != nil && it.ok {
+				name, _ = p.cfg.Tunnels.Route(name, it.key.flow)
+			}
 			if p.cfg.OnTunnel != nil {
-				p.cfg.OnTunnel(a.Tunnel, data)
+				p.cfg.OnTunnel(name, data)
 			}
 			terminal = true
 			break loop

@@ -420,6 +420,80 @@ func TestE14SupervisionShape(t *testing.T) {
 	}
 }
 
+// TestE15RoamingShape checks the resilient-redirection acceptance
+// criteria with exact counts: probed failover re-pins every flow off the
+// dead endpoint with loss bounded by detection latency, make-before-break
+// loses zero packets where teardown-rebuild measurably drops, and the
+// split-TCP proxy's flow state survives the handover.
+func TestE15RoamingShape(t *testing.T) {
+	p := DefaultE15
+	res := E15(p)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d, want 4 scenarios", len(res.Rows))
+	}
+	find := func(label string) []string {
+		for _, row := range res.Rows {
+			if row[0] == label {
+				return row
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return nil
+	}
+
+	// Static pin: 4 flows x 2ms ticks lose the entire 200ms outage.
+	static := find("static pin, endpoint outage")
+	if static[1] != "800" || static[3] != "400" || static[4] != "0" {
+		t.Fatalf("static row %v, want 800 sent / 400 lost / 0 failovers", static)
+	}
+	// Probed: two 10ms-spaced probes time out at 20ms each -> down at
+	// 130ms; loss is the 16 ticks of detection latency x 4 flows, then
+	// every flow fails over exactly once.
+	probed := find("probed failover, endpoint outage")
+	if probed[3] != "64" {
+		t.Fatalf("probed loss %v, want 64 (detection latency only)", probed[3])
+	}
+	if probed[4] != fmt.Sprint(p.Flows) {
+		t.Fatalf("failovers %v, want %d (one per flow)", probed[4], p.Flows)
+	}
+	if cell(t, probed[3]) >= cell(t, static[3]) {
+		t.Fatal("probes did not reduce outage loss")
+	}
+
+	// Teardown-rebuild blackholes the new deployment's 30ms boot window:
+	// 14 new-flow ticks + 4 drain ticks = 18 dropped of 39 sent.
+	tdr := find("roam: teardown-rebuild")
+	if tdr[1] != "39" || tdr[2] != "21" || tdr[3] != "18" {
+		t.Fatalf("teardown row %v, want 39/21/18", tdr)
+	}
+	// Make-before-break: identical timeline, zero loss.
+	mbb := find("roam: make-before-break")
+	if mbb[1] != "39" || mbb[2] != "39" || mbb[3] != "0" {
+		t.Fatalf("make-before-break row %v, want 39/39/0", mbb)
+	}
+	// Split-TCP proxy state: 4 migrated flows + 4 new ones survive the
+	// handover; a cold rebuild starts over with only the new 4.
+	if mbb[5] != "8" || tdr[5] != "4" {
+		t.Fatalf("proxy flows mbb=%v tdr=%v, want 8 vs 4", mbb[5], tdr[5])
+	}
+	// Old-network invoices are exact: the make-before-break bill includes
+	// the traffic drained through the old chains while the new deployment
+	// booted, so it is strictly larger.
+	if tdr[6] != "900" || mbb[6] != "2466" {
+		t.Fatalf("invoices tdr=%v mbb=%v, want 900 and 2466", tdr[6], mbb[6])
+	}
+	// Every failover left ledger evidence.
+	var evid string
+	for _, f := range res.Findings {
+		if strings.Contains(f, "redirection records") {
+			evid = f
+		}
+	}
+	if !strings.Contains(evid, fmt.Sprintf("%d redirection records", p.Flows)) {
+		t.Fatalf("redirection evidence finding %q, want %d records", evid, p.Flows)
+	}
+}
+
 // TestE13NoGoroutineLeak: the whole lifecycle runs on the simulated
 // clock; an experiment run must not leave goroutines behind.
 func TestE13NoGoroutineLeak(t *testing.T) {
@@ -448,6 +522,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E10", func() string { return E10(DefaultE10).String() }},
 		{"E13", func() string { p := DefaultE13; p.Devices = 8; return E13(p).String() }},
 		{"E14", func() string { p := DefaultE14; p.PacketsPerPhase = 200; return E14(p).String() }},
+		{"E15", func() string { return E15(DefaultE15).String() }},
 	}
 	for _, c := range pairs {
 		a, b := c.run(), c.run()

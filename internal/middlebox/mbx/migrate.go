@@ -1,0 +1,124 @@
+// StatefulBox implementations for the built-in boxes that accumulate
+// per-flow state worth carrying across a handover (middlebox.StatefulBox,
+// core.BeginRoam): the split-TCP proxy's connection table, the
+// classifier's learned flow labels and class counters, and the PII
+// detector's finding counters. Snapshots are JSON with sorted keys so a
+// given state always serializes identically (reproducible migrations).
+package mbx
+
+import (
+	"encoding/json"
+	"sort"
+
+	"pvn/internal/middlebox"
+	"pvn/internal/packet"
+)
+
+// Compile-time checks: these boxes migrate.
+var (
+	_ middlebox.StatefulBox = (*TCPProxy)(nil)
+	_ middlebox.StatefulBox = (*Classifier)(nil)
+	_ middlebox.StatefulBox = (*PIIDetect)(nil)
+)
+
+// sortedFlows returns the keys of a flow set in deterministic order.
+func sortedFlows[V any](m map[packet.Flow]V) []packet.Flow {
+	out := make([]packet.Flow, 0, len(m))
+	for f := range m {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ExportState implements middlebox.StatefulBox: the proxy's split
+// connections, sorted.
+func (t *TCPProxy) ExportState() ([]byte, error) {
+	return json.Marshal(sortedFlows(t.Flows))
+}
+
+// ImportState implements middlebox.StatefulBox: merges previously split
+// connections into the table, so flows proxied on the old network stay
+// split instead of resetting mid-conversation.
+func (t *TCPProxy) ImportState(data []byte) error {
+	var flows []packet.Flow
+	if err := json.Unmarshal(data, &flows); err != nil {
+		return err
+	}
+	if t.Flows == nil {
+		t.Flows = make(map[packet.Flow]bool, len(flows))
+	}
+	for _, f := range flows {
+		t.Flows[f.Canonical()] = true
+	}
+	return nil
+}
+
+// classifierState is the classifier's wire snapshot.
+type classifierState struct {
+	Flows  []classifiedFlow       `json:"flows"`
+	Counts map[TrafficClass]int64 `json:"counts"`
+}
+
+type classifiedFlow struct {
+	Flow  packet.Flow  `json:"flow"`
+	Class TrafficClass `json:"class"`
+}
+
+// ExportState implements middlebox.StatefulBox.
+func (c *Classifier) ExportState() ([]byte, error) {
+	st := classifierState{Counts: c.Counts}
+	for _, f := range sortedFlows(c.flows) {
+		st.Flows = append(st.Flows, classifiedFlow{Flow: f, Class: c.flows[f]})
+	}
+	return json.Marshal(st)
+}
+
+// ImportState implements middlebox.StatefulBox: merges learned flow
+// labels (existing labels win — the new network's own observations are
+// fresher) and folds the class counters in.
+func (c *Classifier) ImportState(data []byte) error {
+	var st classifierState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if c.flows == nil {
+		c.flows = make(map[packet.Flow]TrafficClass, len(st.Flows))
+	}
+	for _, cf := range st.Flows {
+		if _, seen := c.flows[cf.Flow.Canonical()]; !seen {
+			c.flows[cf.Flow.Canonical()] = cf.Class
+		}
+	}
+	if c.Counts == nil {
+		c.Counts = make(map[TrafficClass]int64, len(st.Counts))
+	}
+	for cl, n := range st.Counts {
+		c.Counts[cl] += n
+	}
+	return nil
+}
+
+// piiState is the PII detector's wire snapshot.
+type piiState struct {
+	Findings, Redactions, Blocked int64
+}
+
+// ExportState implements middlebox.StatefulBox: the detection counters
+// (the configuration — mode, secrets — travels in the PVNC, not here).
+func (d *PIIDetect) ExportState() ([]byte, error) {
+	return json.Marshal(piiState{Findings: d.Findings, Redactions: d.Redactions, Blocked: d.Blocked})
+}
+
+// ImportState implements middlebox.StatefulBox: folds the old
+// deployment's counters in, so a user's leak tally survives roaming.
+func (d *PIIDetect) ImportState(data []byte) error {
+	var st piiState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	d.Findings += st.Findings
+	d.Redactions += st.Redactions
+	d.Blocked += st.Blocked
+	return nil
+}

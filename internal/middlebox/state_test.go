@@ -1,0 +1,83 @@
+package middlebox
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// statefulTestBox carries one counter through Export/Import.
+type statefulTestBox struct {
+	plainTestBox
+	n byte
+}
+
+func (b *statefulTestBox) ExportState() ([]byte, error) { return []byte{b.n}, nil }
+func (b *statefulTestBox) ImportState(data []byte) error {
+	if len(data) != 1 {
+		return errors.New("bad snapshot")
+	}
+	b.n += data[0]
+	return nil
+}
+
+// plainTestBox has no migratable state.
+type plainTestBox struct{}
+
+func (plainTestBox) Name() string { return "plain" }
+func (plainTestBox) Process(ctx *Context, data []byte) ([]byte, Verdict, error) {
+	return data, VerdictPass, nil
+}
+
+func stateRuntime(t *testing.T) (*Runtime, *Instance, *Instance) {
+	t.Helper()
+	rt := NewRuntime(func() time.Duration { return 0 })
+	rt.Register(&Spec{Type: "stateful", New: func(map[string]string) (Box, error) {
+		return &statefulTestBox{n: 7}, nil
+	}})
+	rt.Register(&Spec{Type: "plain", New: func(map[string]string) (Box, error) {
+		return plainTestBox{}, nil
+	}})
+	si, err := rt.Instantiate("u", "stateful", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := rt.Instantiate("u", "plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, si, pi
+}
+
+func TestRuntimeExportImportState(t *testing.T) {
+	rt, si, pi := stateRuntime(t)
+
+	data, ok, err := rt.ExportState(si.ID)
+	if err != nil || !ok || len(data) != 1 || data[0] != 7 {
+		t.Fatalf("export %v %v %v", data, ok, err)
+	}
+	// Non-stateful and unknown instances export nothing, without error.
+	if _, ok, err := rt.ExportState(pi.ID); ok || err != nil {
+		t.Fatalf("plain export ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := rt.ExportState("ghost"); ok || err != nil {
+		t.Fatalf("ghost export ok=%v err=%v", ok, err)
+	}
+
+	if err := rt.ImportState(si.ID, data); err != nil {
+		t.Fatal(err)
+	}
+	if got := si.Box.(*statefulTestBox).n; got != 14 {
+		t.Fatalf("imported counter %d", got)
+	}
+	// Importing into the wrong target is an error, not a silent drop.
+	if err := rt.ImportState(pi.ID, data); err == nil {
+		t.Fatal("import into stateless box accepted")
+	}
+	if err := rt.ImportState("ghost", data); !errors.Is(err, ErrInstanceunknown) {
+		t.Fatalf("ghost import err=%v", err)
+	}
+	if err := rt.ImportState(si.ID, []byte{1, 2}); err == nil {
+		t.Fatal("bad snapshot accepted")
+	}
+}

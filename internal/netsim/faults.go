@@ -62,6 +62,11 @@ func NewFaultInjector(cfg FaultConfig, rng *RNG) *FaultInjector {
 // Config returns the injector's configuration.
 func (f *FaultInjector) Config() FaultConfig { return f.cfg }
 
+// AddOutage appends a crash window. Outage windows are consulted at
+// send and delivery time, so windows may be added while a simulation
+// runs (e.g. an experiment scripting an endpoint failure mid-flight).
+func (f *FaultInjector) AddOutage(o Outage) { f.cfg.Outages = append(f.cfg.Outages, o) }
+
 // Down reports whether the peer is inside a crash window at now.
 func (f *FaultInjector) Down(now time.Duration) bool {
 	for _, o := range f.cfg.Outages {
@@ -79,6 +84,26 @@ func (f *FaultInjector) delay() time.Duration {
 	}
 	span := f.cfg.DelayMax - f.cfg.DelayMin
 	return f.cfg.DelayMin + time.Duration(f.rng.Float64()*float64(span))
+}
+
+// Cut applies the channel's loss model to a synchronous exchange at
+// time now: it reports true (and counts the loss) when the message
+// would be dropped by an outage window or the drop rate. Callers whose
+// request/response hop completes within one simulated instant — the
+// core library's direct HandleDM/HandleDeploy calls — use Cut where
+// Deliver's asynchronous scheduling has no clock to ride.
+func (f *FaultInjector) Cut(now time.Duration) bool {
+	f.Stats.Sent++
+	if f.Down(now) {
+		f.Stats.OutageDrops++
+		return true
+	}
+	if f.rng.Bool(f.cfg.DropRate) {
+		f.Stats.Dropped++
+		return true
+	}
+	f.Stats.Delivered++
+	return false
 }
 
 // Deliver offers one message to the channel at the clock's current

@@ -1,0 +1,403 @@
+// Endpoint health probing (§3.3: "use active measurements to inform the
+// costs of alternative locations"). Each endpoint carries an RTT/loss-
+// scored health ladder — healthy → degraded → down, with a probation
+// half-open state on the way back up — mirroring the sliding-window +
+// capped-backoff breaker the middlebox supervisor uses for instances:
+// the same defense, applied to redirection targets instead of boxes.
+//
+// The Prober drives the ladder on the netsim clock: one probe loop per
+// endpoint, each probe traversing a netsim.FaultInjector that models the
+// interdomain path (its delay draw is the probe RTT; its drops and
+// outage windows lose probes). Down endpoints are re-probed at a capped
+// exponential backoff so a dead path costs bounded probe traffic.
+package tunnel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pvn/internal/netsim"
+)
+
+// Health is the probed state of one tunnel endpoint.
+type Health uint8
+
+// Health states. Probation is the half-open state: a down endpoint
+// answered a probe and is accumulating consecutive successes; one loss
+// sends it straight back to Down with a widened retry backoff.
+const (
+	Healthy Health = iota
+	Degraded
+	Down
+	Probation
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	case Probation:
+		return "probation"
+	default:
+		return fmt.Sprintf("health(%d)", uint8(h))
+	}
+}
+
+// downTier is the selection tier at and above which an endpoint is
+// avoided (see tier).
+const downTier = 3
+
+// tier orders health states for endpoint selection: healthy first, then
+// degraded/recovering, down last.
+func (h Health) tier() int {
+	switch h {
+	case Healthy:
+		return 0
+	case Degraded, Probation:
+		return 1
+	default:
+		return downTier
+	}
+}
+
+// HealthConfig tunes the probe ladder. The zero value is live: a
+// 16-probe window, down at 4 losses, degraded at 2, 50 ms probe
+// interval, 200 ms probe timeout, down-retry backoff starting at 200 ms
+// doubling to a 2 s cap, 3 probation probes.
+type HealthConfig struct {
+	// Window is the sliding window of recent probe outcomes per
+	// endpoint, in probes. Clamped to 64. Zero means 16.
+	Window int
+	// DownThreshold is how many losses within Window mark the endpoint
+	// Down. Zero means 4.
+	DownThreshold int
+	// DegradedThreshold is how many losses within Window mark it
+	// Degraded. Zero means half of DownThreshold.
+	DegradedThreshold int
+	// ProbeInterval is the per-endpoint probe cadence. Zero means 50 ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout is how long a probe waits for its answer before
+	// counting as lost. Zero means 4× ProbeInterval.
+	ProbeTimeout time.Duration
+	// RetryBackoff is the first Down-state probe interval; it doubles
+	// per consecutive loss while down, capped. Zero means 200 ms.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the doubling. Zero means 2 s.
+	RetryBackoffMax time.Duration
+	// ProbationProbes is how many consecutive probe successes promote a
+	// recovering endpoint back to Healthy. Zero means 3.
+	ProbationProbes int
+}
+
+func (c *HealthConfig) window() int {
+	if c.Window <= 0 {
+		return 16
+	}
+	if c.Window > 64 {
+		return 64
+	}
+	return c.Window
+}
+
+func (c *HealthConfig) down() int {
+	if c.DownThreshold <= 0 {
+		return 4
+	}
+	return c.DownThreshold
+}
+
+func (c *HealthConfig) degraded() int {
+	if c.DegradedThreshold > 0 {
+		return c.DegradedThreshold
+	}
+	d := c.down() / 2
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (c *HealthConfig) probeInterval() time.Duration {
+	if c.ProbeInterval <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.ProbeInterval
+}
+
+func (c *HealthConfig) probeTimeout() time.Duration {
+	if c.ProbeTimeout <= 0 {
+		return 4 * c.probeInterval()
+	}
+	return c.ProbeTimeout
+}
+
+func (c *HealthConfig) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.RetryBackoff
+}
+
+func (c *HealthConfig) retryBackoffMax() time.Duration {
+	if c.RetryBackoffMax <= 0 {
+		return 2 * time.Second
+	}
+	return c.RetryBackoffMax
+}
+
+func (c *HealthConfig) probation() int {
+	if c.ProbationProbes <= 0 {
+		return 3
+	}
+	return c.ProbationProbes
+}
+
+// Event is one endpoint health transition, delivered to Table.OnEvent.
+type Event struct {
+	Endpoint string
+	From, To Health
+	At       time.Duration
+	Detail   string
+}
+
+// endpointState is the per-endpoint health + counter block. The atomic
+// counters are written by packet workers (Wrap/Route) and metrics
+// pollers without the lock; everything else is guarded by Table.mu.
+type endpointState struct {
+	sent, bytes            atomic.Int64
+	probesSent, probesLost atomic.Int64
+	failedOver             atomic.Int64
+
+	health Health
+	// window bit i set = probe at ring slot i was lost (the supervisor's
+	// bitmask ring, see middlebox/supervisor.go).
+	window      uint64
+	wpos, wfill int
+	fails       int
+	// srtt is the smoothed probe RTT (EWMA, gain 1/8).
+	srtt time.Duration
+	// backoff is the current down-state probe interval; doubles per
+	// consecutive loss while down, capped.
+	backoff time.Duration
+	// probationLeft counts successes still needed to return to Healthy.
+	probationLeft int
+}
+
+// push records one probe outcome into the sliding window and returns
+// the loss count now in view.
+func (st *endpointState) push(lost bool, size int) int {
+	bit := uint64(1) << uint(st.wpos)
+	if st.wfill == size {
+		if st.window&bit != 0 {
+			st.fails--
+		}
+	} else {
+		st.wfill++
+	}
+	if lost {
+		st.window |= bit
+		st.fails++
+	} else {
+		st.window &^= bit
+	}
+	st.wpos = (st.wpos + 1) % size
+	return st.fails
+}
+
+func (st *endpointState) clearWindow() {
+	st.window, st.wpos, st.wfill, st.fails = 0, 0, 0, 0
+}
+
+// RecordProbe feeds one probe outcome into the endpoint's health ladder
+// at simulated time now: ok with the measured rtt, or a loss. It is the
+// raw entry point the Prober drives; tests and real daemons with their
+// own probe transport call it directly. It returns the endpoint's
+// health after the outcome.
+func (t *Table) RecordProbe(name string, ok bool, rtt, now time.Duration) Health {
+	t.mu.Lock()
+	st := t.states[name]
+	if st == nil {
+		t.mu.Unlock()
+		return Healthy
+	}
+	cfg := &t.Health
+	prev := st.health
+	st.probesSent.Add(1)
+	detail := ""
+	if ok {
+		if st.srtt == 0 {
+			st.srtt = rtt
+		} else {
+			st.srtt = (7*st.srtt + rtt) / 8
+		}
+		switch st.health {
+		case Down:
+			st.health = Probation
+			st.probationLeft = cfg.probation() - 1
+			detail = fmt.Sprintf("probe answered in %v", rtt)
+		case Probation:
+			st.probationLeft--
+			detail = fmt.Sprintf("probation cleared (srtt %v)", st.srtt)
+		default:
+			fails := st.push(false, cfg.window())
+			if st.health == Degraded && fails < cfg.degraded() {
+				st.health = Healthy
+				detail = fmt.Sprintf("loss cleared the window (srtt %v)", st.srtt)
+			}
+		}
+		if st.health == Probation && st.probationLeft <= 0 {
+			st.health = Healthy
+			st.clearWindow()
+			st.backoff = 0
+		}
+	} else {
+		st.probesLost.Add(1)
+		widen := func() {
+			st.backoff *= 2
+			if max := cfg.retryBackoffMax(); st.backoff > max {
+				st.backoff = max
+			}
+		}
+		switch st.health {
+		case Probation:
+			st.health = Down
+			widen()
+			detail = fmt.Sprintf("probe lost in probation, retry in %v", st.backoff)
+		case Down:
+			widen()
+		default:
+			fails := st.push(true, cfg.window())
+			switch {
+			case fails >= cfg.down():
+				st.health = Down
+				st.backoff = cfg.retryBackoff()
+				st.clearWindow()
+				detail = fmt.Sprintf("%d of last %d probes lost, retry in %v", fails, cfg.window(), st.backoff)
+			case fails >= cfg.degraded() && st.health == Healthy:
+				st.health = Degraded
+				detail = fmt.Sprintf("%d of last %d probes lost", fails, cfg.window())
+			}
+		}
+	}
+	cur := st.health
+	hook := t.OnEvent
+	t.mu.Unlock()
+	if cur != prev && hook != nil {
+		hook(Event{Endpoint: name, From: prev, To: cur, At: now, Detail: detail})
+	}
+	return cur
+}
+
+// probeDelay returns how long the Prober should wait before the named
+// endpoint's next probe: the configured interval, or the endpoint's
+// current retry backoff while it is down.
+func (t *Table) probeDelay(name string) time.Duration {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if st := t.states[name]; st != nil && st.health == Down && st.backoff > 0 {
+		return st.backoff
+	}
+	return t.Health.probeInterval()
+}
+
+// Prober actively probes every endpoint of a Table on the netsim clock.
+// Each endpoint's interdomain path is modelled by a netsim.FaultInjector
+// (SetPath): a probe rides one Deliver through it, the delivery delay is
+// the measured RTT, and a probe that does not arrive within the health
+// config's ProbeTimeout counts as lost — drops and outage windows in
+// the injector therefore surface as endpoint health, which is exactly
+// how the table learns an endpoint died. Endpoints without a registered
+// path answer instantly at their configured ExtraRTT (a perfect link).
+//
+// The Prober is single-goroutine: it runs entirely inside clock
+// callbacks and must only be used from the clock-driving goroutine.
+type Prober struct {
+	tbl     *Table
+	clock   *netsim.Clock
+	paths   map[string]*netsim.FaultInjector
+	running map[string]bool
+	stopped bool
+}
+
+// NewProber builds a prober over tbl on clock.
+func NewProber(tbl *Table, clock *netsim.Clock) *Prober {
+	return &Prober{
+		tbl:     tbl,
+		clock:   clock,
+		paths:   make(map[string]*netsim.FaultInjector),
+		running: make(map[string]bool),
+	}
+}
+
+// SetPath models the named endpoint's path with a fault injector. Fork
+// one RNG per endpoint so fault sequences stay independent.
+func (p *Prober) SetPath(name string, inj *netsim.FaultInjector) { p.paths[name] = inj }
+
+// Path returns the injector modelling the named endpoint's path, or nil.
+func (p *Prober) Path(name string) *netsim.FaultInjector { return p.paths[name] }
+
+// Start begins a probe loop for every endpoint currently in the table
+// (endpoints added later need another Start). The first probes fire
+// immediately at the clock's current instant.
+func (p *Prober) Start() {
+	for _, name := range p.tbl.Names() {
+		if !p.running[name] {
+			p.running[name] = true
+			p.loop(name)
+		}
+	}
+}
+
+// Stop halts probing; in-flight probe events become no-ops.
+func (p *Prober) Stop() { p.stopped = true }
+
+// loop fires one probe and schedules the next at the table's current
+// cadence for this endpoint (interval, or down-state backoff).
+func (p *Prober) loop(name string) {
+	if p.stopped {
+		return
+	}
+	p.probe(name)
+	p.clock.Schedule(p.tbl.probeDelay(name), func() { p.loop(name) })
+}
+
+// probe sends one probe through the endpoint's path model.
+func (p *Prober) probe(name string) {
+	inj := p.paths[name]
+	sentAt := p.clock.Now()
+	if inj == nil {
+		e := p.tbl.Endpoint(name)
+		if e == nil {
+			return
+		}
+		p.tbl.RecordProbe(name, true, e.ExtraRTT, sentAt)
+		return
+	}
+	timeout := p.tbl.Health.probeTimeout()
+	resolved := false
+	inj.Deliver(p.clock, func() {
+		if p.stopped || resolved {
+			return
+		}
+		rtt := p.clock.Now() - sentAt
+		if rtt >= timeout {
+			// Arrived after the timeout already counted it lost.
+			return
+		}
+		resolved = true
+		p.tbl.RecordProbe(name, true, rtt, p.clock.Now())
+	})
+	p.clock.Schedule(timeout, func() {
+		if p.stopped || resolved {
+			return
+		}
+		resolved = true
+		p.tbl.RecordProbe(name, false, 0, p.clock.Now())
+	})
+}

@@ -1,0 +1,251 @@
+package tunnel
+
+import (
+	"testing"
+	"time"
+
+	"pvn/internal/netsim"
+	"pvn/internal/packet"
+)
+
+func testFlow(port uint16) packet.Flow {
+	return packet.Flow{
+		Proto: packet.IPProtoTCP,
+		Src:   packet.Endpoint{Addr: devAddr, Port: port},
+		Dst:   packet.Endpoint{Addr: packet.MustParseIPv4("93.184.216.34"), Port: 443},
+	}.Canonical()
+}
+
+// TestHealthLadder walks one endpoint healthy → degraded → down →
+// probation → healthy via RecordProbe, checking transition events and
+// backoff widening along the way.
+func TestHealthLadder(t *testing.T) {
+	tbl := NewTable(devAddr)
+	tbl.Health = HealthConfig{
+		Window: 8, DownThreshold: 4, DegradedThreshold: 2,
+		RetryBackoff: 100 * time.Millisecond, RetryBackoffMax: 400 * time.Millisecond,
+		ProbationProbes: 2,
+	}
+	var events []Event
+	tbl.OnEvent = func(ev Event) { events = append(events, ev) }
+	tbl.Add(&Endpoint{Name: "cloud", Addr: cloudAddr, Trusted: true})
+
+	// Two losses: degraded.
+	tbl.RecordProbe("cloud", false, 0, 1)
+	if h := tbl.RecordProbe("cloud", false, 0, 2); h != Degraded {
+		t.Fatalf("after 2 losses: %v", h)
+	}
+	// Two more: down, backoff at the initial retry interval.
+	tbl.RecordProbe("cloud", false, 0, 3)
+	if h := tbl.RecordProbe("cloud", false, 0, 4); h != Down {
+		t.Fatalf("after 4 losses: %v", h)
+	}
+	if d := tbl.probeDelay("cloud"); d != 100*time.Millisecond {
+		t.Fatalf("down backoff %v", d)
+	}
+	// Losses while down widen the backoff, capped.
+	tbl.RecordProbe("cloud", false, 0, 5)
+	tbl.RecordProbe("cloud", false, 0, 6)
+	tbl.RecordProbe("cloud", false, 0, 7)
+	if d := tbl.probeDelay("cloud"); d != 400*time.Millisecond {
+		t.Fatalf("capped backoff %v, want 400ms", d)
+	}
+	// A success opens probation; a loss there goes straight back down.
+	if h := tbl.RecordProbe("cloud", true, 10*time.Millisecond, 8); h != Probation {
+		t.Fatalf("first success: %v", h)
+	}
+	if h := tbl.RecordProbe("cloud", false, 0, 9); h != Down {
+		t.Fatalf("loss in probation: %v", h)
+	}
+	// Recovery: success, then the remaining probation probe.
+	tbl.RecordProbe("cloud", true, 10*time.Millisecond, 10)
+	if h := tbl.RecordProbe("cloud", true, 10*time.Millisecond, 11); h != Healthy {
+		t.Fatalf("after probation: %v", h)
+	}
+	if d := tbl.probeDelay("cloud"); d != tbl.Health.probeInterval() {
+		t.Fatalf("recovered cadence %v", d)
+	}
+
+	wantPath := []struct{ from, to Health }{
+		{Healthy, Degraded}, {Degraded, Down}, {Down, Probation},
+		{Probation, Down}, {Down, Probation}, {Probation, Healthy},
+	}
+	if len(events) != len(wantPath) {
+		t.Fatalf("events %+v", events)
+	}
+	for i, w := range wantPath {
+		if events[i].From != w.from || events[i].To != w.to {
+			t.Fatalf("event %d = %v→%v, want %v→%v", i, events[i].From, events[i].To, w.from, w.to)
+		}
+	}
+}
+
+// TestHealthAwareBestTrusted: selection prefers healthy endpoints over
+// degraded ones regardless of static RTT, and only returns a down
+// endpoint when every trusted endpoint is dark.
+func TestHealthAwareBestTrusted(t *testing.T) {
+	tbl := NewTable(devAddr)
+	tbl.Health = HealthConfig{Window: 8, DownThreshold: 2, DegradedThreshold: 1}
+	tbl.Add(&Endpoint{Name: "cloud", Addr: cloudAddr, ExtraRTT: 20 * time.Millisecond, Trusted: true})
+	tbl.Add(&Endpoint{Name: "home", Addr: homeAddr, ExtraRTT: 150 * time.Millisecond, Trusted: true})
+
+	// Statically cloud wins.
+	if best, _ := tbl.BestTrusted(); best.Name != "cloud" {
+		t.Fatalf("static best %s", best.Name)
+	}
+	// One loss degrades cloud: home (healthy) now wins despite its RTT.
+	tbl.RecordProbe("cloud", false, 0, 1)
+	if best, _ := tbl.BestTrusted(); best.Name != "home" {
+		t.Fatalf("degraded best %s", best.Name)
+	}
+	// Home down: degraded cloud wins again.
+	tbl.RecordProbe("home", false, 0, 2)
+	tbl.RecordProbe("home", false, 0, 3)
+	if best, _ := tbl.BestTrusted(); best.Name != "cloud" {
+		t.Fatalf("home-down best %s", best.Name)
+	}
+	// Everything down: fall back to the statically-best endpoint rather
+	// than reporting none (a dark table still names a place to try).
+	tbl.RecordProbe("cloud", false, 0, 4)
+	best, ok := tbl.BestTrusted()
+	if !ok || best.Name != "cloud" {
+		t.Fatalf("all-down best %v %v", best, ok)
+	}
+}
+
+// TestRouteFailover: flows pin to their endpoint and re-pin off it when
+// it goes down; trusted flows never fail over to untrusted endpoints.
+func TestRouteFailover(t *testing.T) {
+	tbl := NewTable(devAddr)
+	tbl.Health = HealthConfig{Window: 8, DownThreshold: 2}
+	tbl.Add(&Endpoint{Name: "cloud", Addr: cloudAddr, ExtraRTT: 20 * time.Millisecond, Trusted: true})
+	tbl.Add(&Endpoint{Name: "home", Addr: homeAddr, ExtraRTT: 150 * time.Millisecond, Trusted: true})
+	tbl.Add(&Endpoint{Name: "sketchy", Addr: cloudAddr, ExtraRTT: time.Millisecond, Trusted: false})
+	var moved []string
+	tbl.OnFailover = func(f packet.Flow, from, to string) { moved = append(moved, from+"->"+to) }
+
+	f1, f2 := testFlow(40000), testFlow(40001)
+	if name, fo := tbl.Route("cloud", f1); name != "cloud" || fo {
+		t.Fatalf("initial route %s %v", name, fo)
+	}
+	tbl.Route("cloud", f2)
+
+	// Cloud dies: both flows re-pin to home — the trusted standby, not
+	// the untrusted sketchy endpoint with the better RTT.
+	tbl.RecordProbe("cloud", false, 0, 1)
+	tbl.RecordProbe("cloud", false, 0, 2)
+	if name, fo := tbl.Route("cloud", f1); name != "home" || !fo {
+		t.Fatalf("failover route %s %v", name, fo)
+	}
+	if name, fo := tbl.Route("cloud", f2); name != "home" || !fo {
+		t.Fatalf("failover route %s %v", name, fo)
+	}
+	// The pin is sticky: repeated routes stay on home without new
+	// failovers, even after cloud recovers (no flap-back).
+	if name, fo := tbl.Route("cloud", f1); name != "home" || fo {
+		t.Fatalf("sticky route %s %v", name, fo)
+	}
+	tbl.RecordProbe("cloud", true, time.Millisecond, 3)
+	if name, _ := tbl.Route("cloud", f1); name != "home" {
+		t.Fatalf("flapped back to %s", name)
+	}
+	if tbl.Failovers() != 2 || len(moved) != 2 || moved[0] != "cloud->home" {
+		t.Fatalf("failovers=%d moved=%v", tbl.Failovers(), moved)
+	}
+	if tbl.PinnedTo("home") != 2 {
+		t.Fatalf("pinned to home: %d", tbl.PinnedTo("home"))
+	}
+	st := tbl.Stats()
+	for _, e := range st.Endpoints {
+		if e.Name == "cloud" && e.FailedOver != 2 {
+			t.Fatalf("cloud failed-over count %d", e.FailedOver)
+		}
+	}
+
+	// A flow pinned to a down endpoint with no trusted alternative stays
+	// put rather than downgrading to sketchy.
+	tbl.RecordProbe("cloud", false, 0, 4)
+	tbl.RecordProbe("cloud", false, 0, 5)
+	tbl.RecordProbe("home", false, 0, 6)
+	tbl.RecordProbe("home", false, 0, 7)
+	if name, fo := tbl.Route("cloud", f1); name != "home" || fo {
+		t.Fatalf("trust downgrade: routed to %s (failover=%v)", name, fo)
+	}
+}
+
+// TestProberDetectsOutage drives the full loop on the simulated clock:
+// an injected outage window turns the endpoint Down after the probe
+// timeouts accumulate, Route fails flows over, and the endpoint recovers
+// through probation once the outage lifts.
+func TestProberDetectsOutage(t *testing.T) {
+	clock := &netsim.Clock{}
+	tbl := NewTable(devAddr)
+	tbl.Health = HealthConfig{
+		Window: 8, DownThreshold: 2,
+		ProbeInterval: 10 * time.Millisecond, ProbeTimeout: 20 * time.Millisecond,
+		RetryBackoff: 20 * time.Millisecond, RetryBackoffMax: 40 * time.Millisecond,
+		ProbationProbes: 1,
+	}
+	tbl.Add(&Endpoint{Name: "cloud", Addr: cloudAddr, ExtraRTT: 2 * time.Millisecond, Trusted: true})
+	tbl.Add(&Endpoint{Name: "home", Addr: homeAddr, ExtraRTT: 5 * time.Millisecond, Trusted: true})
+
+	p := NewProber(tbl, clock)
+	rng := netsim.NewRNG(7)
+	cloudPath := netsim.NewFaultInjector(netsim.FaultConfig{
+		DelayMin: 2 * time.Millisecond, DelayMax: 2 * time.Millisecond,
+		Outages: []netsim.Outage{{From: 100 * time.Millisecond, Until: 300 * time.Millisecond}},
+	}, rng.Fork())
+	p.SetPath("cloud", cloudPath)
+	p.SetPath("home", netsim.NewFaultInjector(netsim.FaultConfig{
+		DelayMin: 5 * time.Millisecond, DelayMax: 5 * time.Millisecond,
+	}, rng.Fork()))
+	p.Start()
+
+	clock.RunUntil(90 * time.Millisecond)
+	if h := tbl.EndpointHealth("cloud"); h != Healthy {
+		t.Fatalf("pre-outage health %v", h)
+	}
+	if st := tbl.Stats(); st.Endpoints[0].SRTT != 2*time.Millisecond {
+		t.Fatalf("srtt %v", st.Endpoints[0].SRTT)
+	}
+
+	// Inside the outage, after two probe timeouts: down. First lost
+	// probe fires at 100ms, times out at 120ms; second at 110ms→130ms.
+	clock.RunUntil(140 * time.Millisecond)
+	if h := tbl.EndpointHealth("cloud"); h != Down {
+		t.Fatalf("mid-outage health %v", h)
+	}
+	f := testFlow(40000)
+	if name, fo := tbl.Route("cloud", f); name != "home" || !fo {
+		t.Fatalf("route during outage: %s %v", name, fo)
+	}
+
+	// After the outage the backoff-spaced probes bring it back.
+	clock.RunUntil(500 * time.Millisecond)
+	if h := tbl.EndpointHealth("cloud"); h != Healthy {
+		t.Fatalf("post-outage health %v", h)
+	}
+	// The flow stays pinned to its standby (no flap-back)…
+	if name, _ := tbl.Route("cloud", f); name != "home" {
+		t.Fatal("flow flapped back")
+	}
+	// …but fresh flows use the recovered endpoint again.
+	if name, _ := tbl.Route("cloud", testFlow(40001)); name != "cloud" {
+		t.Fatal("fresh flow avoided recovered endpoint")
+	}
+	p.Stop()
+
+	st := tbl.Stats()
+	var cloud EndpointStats
+	for _, e := range st.Endpoints {
+		if e.Name == "cloud" {
+			cloud = e
+		}
+	}
+	if cloud.ProbesSent == 0 || cloud.ProbesLost == 0 {
+		t.Fatalf("probe counters %+v", cloud)
+	}
+	if st.Failovers != 1 {
+		t.Fatalf("failovers %d", st.Failovers)
+	}
+}

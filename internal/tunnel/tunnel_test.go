@@ -3,6 +3,7 @@ package tunnel
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -90,11 +91,93 @@ func TestTableWrapAndStats(t *testing.T) {
 	if err != nil || !bytes.Equal(got, inner) {
 		t.Fatal("wrap round trip failed")
 	}
-	if tbl.Sent["cloud"] != 1 || tbl.Bytes["cloud"] != int64(len(outer)) {
-		t.Fatalf("stats %d/%d", tbl.Sent["cloud"], tbl.Bytes["cloud"])
+	if tbl.Sent("cloud") != 1 || tbl.Bytes("cloud") != int64(len(outer)) {
+		t.Fatalf("stats %d/%d", tbl.Sent("cloud"), tbl.Bytes("cloud"))
+	}
+	st := tbl.Stats()
+	if len(st.Endpoints) != 1 || st.Endpoints[0].Name != "cloud" || st.Endpoints[0].Sent != 1 {
+		t.Fatalf("snapshot %+v", st)
 	}
 	if _, _, err := tbl.Wrap("ghost", inner); err == nil {
 		t.Fatal("unknown endpoint accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	tbl := NewTable(devAddr)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		tbl.Add(&Endpoint{Name: n, Addr: cloudAddr})
+	}
+	got := tbl.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("names %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTableConcurrency hammers the table from parallel goroutines under
+// -race: packet workers (Wrap, Route), control plane (Add), probers
+// (RecordProbe) and metrics pollers (Stats) all at once.
+func TestTableConcurrency(t *testing.T) {
+	tbl := NewTable(devAddr)
+	tbl.Add(&Endpoint{Name: "cloud", Addr: cloudAddr, Trusted: true})
+	tbl.Add(&Endpoint{Name: "home", Addr: homeAddr, Trusted: true})
+	inner := innerPacket(t)
+	flow, ok := packet.FlowOf(packet.Decode(inner, packet.LayerTypeIPv4))
+	if !ok {
+		t.Fatal("no flow in inner packet")
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(4)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if _, _, err := tbl.Wrap("cloud", inner); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tbl.Add(&Endpoint{Name: "home", Addr: homeAddr, Trusted: true})
+				tbl.RecordProbe("home", i%7 != 0, time.Millisecond, time.Duration(i))
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if name, _ := tbl.Route("cloud", flow); name == "" {
+					t.Error("route returned no endpoint")
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				st := tbl.Stats()
+				if len(st.Endpoints) < 2 {
+					t.Errorf("snapshot lost endpoints: %+v", st)
+					return
+				}
+				tbl.Names()
+				tbl.Sent("cloud")
+				tbl.Bytes("cloud")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tbl.Sent("cloud"); got != 4*500 {
+		t.Fatalf("sent %d, want %d", got, 4*500)
 	}
 }
 
