@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint test race test-race fuzz-short check bench experiments examples cover clean
+.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short check bench experiments examples cover clean
 
 all: build vet test
 
@@ -13,10 +13,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: staticcheck when it is installed (or fetchable), with
-# a `go vet` fallback so offline/minimal environments still get a lint
-# pass instead of a hard failure.
+# Static analysis. pvnlint first: it is stdlib-only, works offline, and
+# enforces the project contracts (determinism, clock discipline,
+# fail-closed specs, atomic/plain field races, dropped lifecycle
+# errors) that generic linters cannot know about. Then staticcheck when
+# it is installed (or fetchable), with a `go vet` fallback so
+# offline/minimal environments still get a lint pass instead of a hard
+# failure.
 lint:
+	$(GO) run ./cmd/pvnlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "lint: staticcheck ($$(staticcheck --version 2>/dev/null))"; \
 		staticcheck ./...; \
@@ -27,6 +32,11 @@ lint:
 		echo "lint: staticcheck unavailable (offline?); falling back to go vet"; \
 		$(GO) vet ./...; \
 	fi
+
+# Audit trail for lint suppressions: every //lint:allow annotation in
+# the tree with its mandatory reason, one line each, for review.
+lint-fix-audit:
+	$(GO) run ./cmd/pvnlint -allows ./...
 
 test:
 	$(GO) test ./...

@@ -32,6 +32,7 @@ var all = []experiment{
 		if q {
 			p.Instances, p.PacketsPerChain = 16, 50
 		}
+		p.Timing = benchTiming()
 		return experiments.E1(p)
 	}},
 	{"E2", "in-network vs tunneled latency", func(q bool) *experiments.Result {
@@ -106,6 +107,7 @@ var all = []experiment{
 			p.UserCounts = []int{1, 20, 50}
 			p.PacketsPerProbe = 500
 		}
+		p.Timing = benchTiming()
 		return experiments.E11(p)
 	}},
 	{"E12", "multihomed selective routing", func(q bool) *experiments.Result {
@@ -139,10 +141,26 @@ var all = []experiment{
 	}},
 }
 
+// wallclock is pvnbench's explicit measurement mode: real elapsed-time
+// readings for the E1/E11 throughput probes. Off by default so a plain
+// run prints bit-deterministic tables (the EXPERIMENTS.md recorded
+// numbers come from -wallclock runs).
+var wallclock bool
+
+// benchTiming picks the experiments' elapsed-time source per the
+// -wallclock flag.
+func benchTiming() experiments.Stopwatch {
+	if wallclock {
+		return experiments.WallStopwatch{}
+	}
+	return nil // deterministic default
+}
+
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
+	flag.BoolVar(&wallclock, "wallclock", false, "measure E1/E11 throughput with the real clock (tables become machine-dependent)")
 	flag.Parse()
 
 	if *list {

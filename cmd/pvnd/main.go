@@ -236,6 +236,21 @@ func dispatch(req *request, srv *deployserver.Server) *response {
 	return &response{Type: "error", Error: fmt.Sprintf("unknown request type %q", req.Type)}
 }
 
+// clampToDeadline fits a retry delay inside the remaining -timeout
+// budget. A delay that would overshoot is clamped to exactly the time
+// left — the client gets one final attempt at the deadline edge instead
+// of either giving up with budget still on the table or sleeping past
+// the timeout the user asked for. ok=false means the budget is spent.
+func clampToDeadline(delay, remaining time.Duration) (clamped time.Duration, ok bool) {
+	if remaining <= 0 {
+		return 0, false
+	}
+	if delay > remaining {
+		return remaining, true
+	}
+	return delay, true
+}
+
 func clientMain(args []string) {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
 	connect := fs.String("connect", "127.0.0.1:7474", "daemon address")
@@ -301,18 +316,27 @@ func clientMain(args []string) {
 	defer conn.Close()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
-	call := func(req *request) *response {
+	// tryCall surfaces transport failures (daemon gone, read timeout) to
+	// the caller; daemon-reported errors are always fatal.
+	tryCall := func(req *request) (*response, error) {
 		if err := enc.Encode(req); err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		var resp response
 		if err := dec.Decode(&resp); err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		if resp.Error != "" {
 			log.Fatalf("daemon error: %s", resp.Error)
 		}
-		return &resp
+		return &resp, nil
+	}
+	call := func(req *request) *response {
+		resp, err := tryCall(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return resp
 	}
 
 	log.Printf("pvnd client: roam policy: make-before-break, drain deadline %v", *drainDeadline)
@@ -320,13 +344,23 @@ func clientMain(args []string) {
 	backoff := discovery.Backoff{Initial: *retryBackoff}
 	deadline := time.Now().Add(*timeout)
 
+	// Bound the whole discovery/deploy exchange by -timeout: without a
+	// connection deadline a daemon that accepts but never answers would
+	// park the client in Decode forever and the retry budget below would
+	// never run. Cleared once deployed — the session itself has no
+	// deadline.
+	conn.SetDeadline(deadline)
+
 	// Discovery and deploy retry on transient failures (no offer, offer
 	// expired mid-flight, busy daemon) with capped exponential backoff.
 	var depResp *response
 	for attempt := 0; ; attempt++ {
 		dm := neg.MakeDM()
 		log.Printf("-> DM seq=%d types=%v (attempt %d/%d)", dm.Seq, dm.RequiredTypes, attempt+1, *retries+1)
-		offerResp := call(&request{Type: "dm", DM: dm})
+		offerResp, err := tryCall(&request{Type: "dm", DM: dm})
+		if err != nil {
+			fallbackOrDie(fmt.Sprintf("daemon unresponsive: %v", err))
+		}
 		if offerResp.Offer != nil {
 			offer := offerResp.Offer
 			log.Printf("<- offer %s: %d types, cost=%d", offer.OfferID, len(offer.SupportedTypes), offer.TotalCost)
@@ -334,7 +368,10 @@ func clientMain(args []string) {
 			if !dec2.Accept {
 				fallbackOrDie("offer unacceptable: " + dec2.Reason)
 			}
-			depResp = call(&request{Type: "deploy", Deploy: neg.BuildDeployRequest(offer, dec2)})
+			depResp, err = tryCall(&request{Type: "deploy", Deploy: neg.BuildDeployRequest(offer, dec2)})
+			if err != nil {
+				fallbackOrDie(fmt.Sprintf("daemon unresponsive: %v", err))
+			}
 			if depResp.Deploy.OK {
 				break
 			}
@@ -345,12 +382,13 @@ func clientMain(args []string) {
 		if attempt >= *retries {
 			fallbackOrDie(fmt.Sprintf("no deployment after %d attempts", attempt+1))
 		}
-		delay := backoff.Delay(attempt, nil)
-		if time.Now().Add(delay).After(deadline) {
+		delay, ok := clampToDeadline(backoff.Delay(attempt, nil), time.Until(deadline))
+		if !ok {
 			fallbackOrDie("deadline exceeded")
 		}
 		time.Sleep(delay)
 	}
+	conn.SetDeadline(time.Time{})
 	log.Printf("<- deployed: cookie=%d dhcp-refresh=%v", depResp.Deploy.Cookie, depResp.Deploy.DHCPRefresh)
 
 	man := call(&request{Type: "manifest", DeviceID: *deviceID})

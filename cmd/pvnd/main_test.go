@@ -152,3 +152,30 @@ func TestHandleOverRealConn(t *testing.T) {
 		t.Fatalf("offer over wire %+v", resp)
 	}
 }
+
+// TestClampToDeadline covers the -timeout retry budget: the final
+// backoff delay must be clamped to the remaining budget (one last
+// attempt at the deadline edge), never overshoot it, and a spent
+// budget must stop the loop.
+func TestClampToDeadline(t *testing.T) {
+	cases := []struct {
+		name      string
+		delay     time.Duration
+		remaining time.Duration
+		want      time.Duration
+		ok        bool
+	}{
+		{"fits", 200 * time.Millisecond, time.Second, 200 * time.Millisecond, true},
+		{"exact", time.Second, time.Second, time.Second, true},
+		{"clamped", 3 * time.Second, 250 * time.Millisecond, 250 * time.Millisecond, true},
+		{"spent", 100 * time.Millisecond, 0, 0, false},
+		{"overspent", 100 * time.Millisecond, -time.Second, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := clampToDeadline(c.delay, c.remaining)
+		if got != c.want || ok != c.ok {
+			t.Errorf("%s: clampToDeadline(%v, %v) = (%v, %v), want (%v, %v)",
+				c.name, c.delay, c.remaining, got, ok, c.want, c.ok)
+		}
+	}
+}

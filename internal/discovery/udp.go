@@ -58,7 +58,7 @@ func DiscoverUDP(conn net.PacketConn, dm *DM, candidates []net.Addr, wait time.D
 	for _, addr := range candidates {
 		conn.WriteTo(payload, addr)
 	}
-	deadline := time.Now().Add(wait)
+	deadline := time.Now().Add(wait) //lint:allow nondet kernel socket deadline: SetReadDeadline needs absolute wall time
 	conn.SetReadDeadline(deadline)
 	defer conn.SetReadDeadline(time.Time{})
 

@@ -28,7 +28,11 @@ type E11Params struct {
 	// DataplaneShards sweeps sharded-pipeline worker counts against the
 	// serial switch on the fully-loaded rule table (empty disables).
 	DataplaneShards []int
-	Seed            uint64
+	// Timing is the elapsed-time source for the per-packet cost probes.
+	// Nil = deterministic SimStopwatch; pass WallStopwatch for real
+	// measurement (pvnbench -wallclock).
+	Timing Stopwatch
+	Seed   uint64
 }
 
 // DefaultE11 is the standard configuration.
@@ -66,7 +70,7 @@ func E11(p E11Params) *Result {
 	}
 
 	// Baseline: an empty switch (non-PVN connection).
-	baseNs := probeDataPlane(nil, p.PacketsPerProbe, "10.0.0.5")
+	baseNs := probeDataPlane(nil, p.PacketsPerProbe, "10.0.0.5", timing(p.Timing))
 
 	var lastSrv *ds.Server
 	for _, users := range p.UserCounts {
@@ -87,7 +91,7 @@ func E11(p E11Params) *Result {
 				deployed++
 			}
 		}
-		perPkt := probeDataPlane(srv, p.PacketsPerProbe, "10.0.0.5")
+		perPkt := probeDataPlane(srv, p.PacketsPerProbe, "10.0.0.5", timing(p.Timing))
 		ratio := perPkt / baseNs
 		res.AddRow(fmt.Sprint(users), fmt.Sprint(deployed),
 			f1(float64(srv.Runtime.MemoryUsed())/(1<<20)),
@@ -95,14 +99,18 @@ func E11(p E11Params) *Result {
 			f2(perPkt/1000), f2(ratio))
 	}
 
-	res.Findingf("per-packet cost grows with table size (linear-scan switch); the dominant term is the user's own middlebox chain")
+	if isWallclock(p.Timing) {
+		res.Findingf("per-packet cost grows with table size (linear-scan switch); the dominant term is the user's own middlebox chain")
+	} else {
+		res.Findingf("simclock timing: per-packet cost cells are synthetic placeholders; run pvnbench -wallclock for measured costs")
+	}
 	res.Findingf("memory = 12 MB/subscriber (two 6 MB instances), matching the ClickOS-style footprint the paper banks on")
 
 	// Sharded dataplane on the fully-loaded table: the same rule set the
 	// largest sweep installed, probed with chain-free HTTPS traffic so the
 	// measurement isolates lookup + forwarding scale-out.
 	if len(p.DataplaneShards) > 0 && lastSrv != nil {
-		serialKpps, rows := e11Dataplane(lastSrv, p.PacketsPerProbe, p.DataplaneShards)
+		serialKpps, rows := e11Dataplane(lastSrv, p.PacketsPerProbe, p.DataplaneShards, timing(p.Timing))
 		res.Findingf("dataplane on %d-rule table: serial %.0f kpkt/s", lastSrv.Switch.Table.Len(), serialKpps)
 		for i, shards := range p.DataplaneShards {
 			res.Findingf("dataplane on %d-rule table: %d shards %.0f kpkt/s (%.2fx serial)",
@@ -114,8 +122,9 @@ func E11(p E11Params) *Result {
 
 // e11Dataplane replays chain-free HTTPS traffic (many flows) through the
 // serial switch and then through sharded pipelines carrying a copy of
-// the same rule table, returning aggregate kpkt/s for each.
-func e11Dataplane(srv *ds.Server, packets int, shardCounts []int) (serialKpps float64, shardedKpps []float64) {
+// the same rule table, returning aggregate kpkt/s for each. Elapsed
+// time flows through sw so the default run is deterministic.
+func e11Dataplane(srv *ds.Server, packets int, shardCounts []int, sw Stopwatch) (serialKpps float64, shardedKpps []float64) {
 	web := packet.MustParseIPv4("93.184.216.34")
 	frames := make([][]byte, 0, 128)
 	for i := 0; i < 128; i++ {
@@ -129,11 +138,11 @@ func e11Dataplane(srv *ds.Server, packets int, shardCounts []int) (serialKpps fl
 		frames = append(frames, data)
 	}
 
-	start := time.Now()
+	stop := sw.Start()
 	for i := 0; i < packets; i++ {
 		srv.Switch.Process(frames[i%len(frames)], 0)
 	}
-	serialKpps = float64(packets) / time.Since(start).Seconds() / 1e3
+	serialKpps = float64(packets) / stop(packets).Seconds() / 1e3
 
 	for _, shards := range shardCounts {
 		dp := dataplane.New(dataplane.Config{
@@ -146,12 +155,12 @@ func e11Dataplane(srv *ds.Server, packets int, shardCounts []int) (serialKpps fl
 			dp.Table().Install(&ec, 0)
 		}
 		dp.Start()
-		start = time.Now()
+		stop = sw.Start()
 		for i := 0; i < packets; i++ {
 			dp.Submit(frames[i%len(frames)], 0)
 		}
 		dp.Drain()
-		shardedKpps = append(shardedKpps, float64(packets)/time.Since(start).Seconds()/1e3)
+		shardedKpps = append(shardedKpps, float64(packets)/stop(packets).Seconds()/1e3)
 		dp.Stop()
 	}
 	return serialKpps, shardedKpps
@@ -178,10 +187,11 @@ func e11Server(memCap int) *ds.Server {
 	return ds.New(policy, sw, rt, clock)
 }
 
-// probeDataPlane measures wall-clock nanoseconds per packet for user0's
-// clean HTTP traffic. srv == nil probes an empty switch (the non-PVN
+// probeDataPlane measures nanoseconds per packet for user0's clean HTTP
+// traffic through the elapsed-time source sw (wall-clock only in
+// measurement mode). srv == nil probes an empty switch (the non-PVN
 // baseline) with a default forwarding rule.
-func probeDataPlane(srv *ds.Server, packets int, deviceAddr string) float64 {
+func probeDataPlane(srv *ds.Server, packets int, deviceAddr string, swatch Stopwatch) float64 {
 	var sw *openflow.Switch
 	if srv != nil {
 		sw = srv.Switch
@@ -199,9 +209,9 @@ func probeDataPlane(srv *ds.Server, packets int, deviceAddr string) float64 {
 	tcp.SetNetworkLayerForChecksum(ip)
 	data, _ := packet.SerializeToBytes(ip, tcp, packet.Payload(msg))
 
-	start := time.Now()
+	stop := swatch.Start()
 	for i := 0; i < packets; i++ {
 		sw.Process(data, 0)
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(packets)
+	return float64(stop(packets).Nanoseconds()) / float64(packets)
 }

@@ -127,6 +127,9 @@ func runE14(p E14Params, policy string, restart bool) e14Stats {
 		// fail-open bypasses are auditor evidence.
 		Type:     "flaky-scan",
 		Security: true,
+		// Type-level default; every scenario overrides it per instance
+		// with cfg["fail"], which is the axis the experiment sweeps.
+		FailPolicy: middlebox.FailClosed,
 		New: func(cfg map[string]string) (middlebox.Box, error) {
 			inner := mbx.NewPIIDetect(mbx.PIIAlert, []string{e14Secret})
 			return mbx.NewFaultyBox(inner, mbx.FaultPlan{FailUntil: stormEnd}, p.Seed), nil

@@ -26,7 +26,11 @@ type E1Params struct {
 	// DataplaneShards is the worker count for the sharded run (0 =
 	// min(4, GOMAXPROCS)).
 	DataplaneShards int
-	Seed            uint64
+	// Timing is the elapsed-time source for the dataplane throughput
+	// section. Nil = deterministic SimStopwatch; pass WallStopwatch for
+	// real measurement (pvnbench -wallclock).
+	Timing Stopwatch
+	Seed   uint64
 }
 
 // DefaultE1 is the standard configuration.
@@ -127,12 +131,16 @@ func E1(p E1Params) *Result {
 				shards = n
 			}
 		}
-		serialKpps, shardedKpps := e1Dataplane(p.DataplanePackets, shards)
+		serialKpps, shardedKpps := e1Dataplane(p.DataplanePackets, shards, timing(p.Timing))
 		res.AddRow("serial chain throughput", fmt.Sprint(p.DataplanePackets), f1(serialKpps), f1(serialKpps), "kpkt/s")
 		res.AddRow(fmt.Sprintf("sharded chain throughput, %d workers", shards),
 			fmt.Sprint(p.DataplanePackets), f1(shardedKpps), f1(shardedKpps), "kpkt/s")
-		res.Findingf("dataplane chain throughput: %.0f kpkt/s serial -> %.0f kpkt/s with %d workers (per-worker runtime clones)",
-			serialKpps, shardedKpps, shards)
+		if isWallclock(p.Timing) {
+			res.Findingf("dataplane chain throughput: %.0f kpkt/s serial -> %.0f kpkt/s with %d workers (per-worker runtime clones)",
+				serialKpps, shardedKpps, shards)
+		} else {
+			res.Findingf("simclock timing: throughput cells are synthetic placeholders; run pvnbench -wallclock for measured kpkt/s")
+		}
 	}
 
 	// Findings: compare against the paper's cited figures.
@@ -183,8 +191,9 @@ func e1Frames(n int) [][]byte {
 
 // e1Dataplane measures chain-inclusive packet throughput (kpkt/s) on
 // the serial switch path versus the sharded pipeline with per-worker
-// runtime clones.
-func e1Dataplane(packets, shards int) (serialKpps, shardedKpps float64) {
+// runtime clones. Elapsed time flows through sw so the default run is
+// deterministic.
+func e1Dataplane(packets, shards int, sw Stopwatch) (serialKpps, shardedKpps float64) {
 	frames := e1Frames(packets)
 	chainRule := func(t openflow.RuleTable) {
 		t.Install(&openflow.FlowEntry{
@@ -193,14 +202,14 @@ func e1Dataplane(packets, shards int) (serialKpps, shardedKpps float64) {
 		}, 0)
 	}
 
-	sw := openflow.NewSwitch("e1-serial", nil)
-	sw.Chains = e1ChainRuntime()
-	chainRule(sw.Table)
-	start := time.Now()
+	serial := openflow.NewSwitch("e1-serial", nil)
+	serial.Chains = e1ChainRuntime()
+	chainRule(serial.Table)
+	stop := sw.Start()
 	for i := 0; i < packets; i++ {
-		sw.Process(frames[i%len(frames)], 0)
+		serial.Process(frames[i%len(frames)], 0)
 	}
-	serialKpps = float64(packets) / time.Since(start).Seconds() / 1e3
+	serialKpps = float64(packets) / stop(packets).Seconds() / 1e3
 
 	dp := dataplane.New(dataplane.Config{
 		Shards: shards,
@@ -211,12 +220,12 @@ func e1Dataplane(packets, shards int) (serialKpps, shardedKpps float64) {
 	})
 	chainRule(dp.Table())
 	dp.Start()
-	start = time.Now()
+	stop = sw.Start()
 	for i := 0; i < packets; i++ {
 		dp.Submit(frames[i%len(frames)], 0)
 	}
 	dp.Drain()
-	shardedKpps = float64(packets) / time.Since(start).Seconds() / 1e3
+	shardedKpps = float64(packets) / stop(packets).Seconds() / 1e3
 	dp.Stop()
 	return serialKpps, shardedKpps
 }

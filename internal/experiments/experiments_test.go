@@ -515,11 +515,18 @@ func TestExperimentsDeterministic(t *testing.T) {
 		name string
 		run  func() string
 	}{
+		{"E1", func() string { p := DefaultE1; p.Instances, p.PacketsPerChain = 16, 50; return E1(p).String() }},
 		{"E3", func() string { p := DefaultE3; p.Trials = 5; return E3(p).String() }},
 		{"E4", func() string { return E4(DefaultE4).String() }},
 		{"E6", func() string { p := DefaultE6; p.Lookups = 40; return E6(p).String() }},
 		{"E8", func() string { p := DefaultE8; p.Trials = 6; return E8(p).String() }},
 		{"E10", func() string { return E10(DefaultE10).String() }},
+		{"E11", func() string {
+			p := DefaultE11
+			p.UserCounts = []int{1, 20}
+			p.PacketsPerProbe = 200
+			return E11(p).String()
+		}},
 		{"E13", func() string { p := DefaultE13; p.Devices = 8; return E13(p).String() }},
 		{"E14", func() string { p := DefaultE14; p.PacketsPerPhase = 200; return E14(p).String() }},
 		{"E15", func() string { return E15(DefaultE15).String() }},

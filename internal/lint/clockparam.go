@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ClockParamAnalyzer (check "clockparam") flags exported functions in
+// simulation-deterministic packages that construct their own
+// time.Ticker/time.Timer instead of accepting a clock. A ticker buried
+// inside an exported API pins callers to wall-clock cadence: netsim
+// can't compress it, tests can't step it, and the same code path times
+// out at different simulated instants on different machines. The
+// project idiom is a `now func() time.Duration` / netsim.Clock
+// parameter (see tunnel.Prober, middlebox.Runtime).
+var ClockParamAnalyzer = &Analyzer{
+	Name: "clockparam",
+	Doc:  "exported function in a simulation-deterministic package constructs time.Ticker/Timer instead of accepting a clock",
+	Run:  runClockParam,
+}
+
+var tickerFuncs = map[string]bool{"NewTicker": true, "NewTimer": true, "Tick": true}
+
+func runClockParam(pass *Pass) {
+	if !pass.Config.DeterministicPkgs[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if path, name, _, ok := pass.pkgRef(sel); ok && path == "time" && tickerFuncs[name] {
+					pass.Reportf(sel.Pos(), "exported %s constructs time.%s; accept a clock from the caller (netsim.Clock or a now func) so simulated time stays schedulable", fd.Name.Name, name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+)
+
+// FailPolicyAnalyzer (check "failpolicy") enforces the fail-closed
+// contract on security middleboxes:
+//
+//  1. A middlebox.Spec registration with Security: true must set an
+//     explicit FailPolicy. Security boxes (tls-verify, pii-detect, …)
+//     are enforcement points; whether a broken one blocks traffic or
+//     waves it through is a policy decision the author must make in
+//     writing, not inherit from a supervisor default that can change
+//     under them.
+//  2. Middlebox packages must not panic outside the supervisor.
+//     Runtime.run's recover() turns box panics into ErrBoxPanic and
+//     routes them through the FailPolicy ladder — a panic anywhere else
+//     in the middlebox layer escapes that containment and takes the
+//     whole dataplane worker down.
+var FailPolicyAnalyzer = &Analyzer{
+	Name: "failpolicy",
+	Doc:  "middlebox Spec with Security: true but no explicit FailPolicy; panic in middlebox code outside the supervisor",
+	Run:  runFailPolicy,
+}
+
+func runFailPolicy(pass *Pass) {
+	// Rule 1 applies everywhere a Spec literal can be written (the mbx
+	// registry, experiments, daemons); the type is matched by name so
+	// the rule follows the Spec type wherever it is imported from.
+	pass.inspect(func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[lit]
+		if !ok || !isMiddleboxSpec(tv.Type) {
+			return true
+		}
+		var security bool
+		var hasFailPolicy bool
+		boxType := "?"
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "Security":
+				if v, ok := pass.Pkg.Info.Types[kv.Value]; ok && v.Value != nil &&
+					v.Value.Kind() == constant.Bool && constant.BoolVal(v.Value) {
+					security = true
+				}
+			case "FailPolicy":
+				hasFailPolicy = true
+			case "Type":
+				if v, ok := pass.Pkg.Info.Types[kv.Value]; ok && v.Value != nil &&
+					v.Value.Kind() == constant.String {
+					boxType = constant.StringVal(v.Value)
+				}
+			}
+		}
+		if security && !hasFailPolicy {
+			pass.Reportf(lit.Pos(), "middlebox Spec %q has Security: true but no explicit FailPolicy; a security box must declare fail-open or fail-closed", boxType)
+		}
+		return true
+	})
+
+	// Rule 2: the panic ban, scoped to the middlebox packages minus the
+	// supervisor (whose recover() is the other half of the contract).
+	if !pass.Config.MiddleboxPkgs[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		base := filepath.Base(pass.Pkg.Fset.Position(f.Pos()).Filename)
+		if pass.Config.SupervisorFiles[base] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(), "panic in middlebox code outside the supervisor; return an error and let the chain's FailPolicy decide")
+			}
+			return true
+		})
+	}
+}
+
+// isMiddleboxSpec matches the middlebox registry's Spec type by name:
+// a named struct called Spec declared in a package named middlebox.
+func isMiddleboxSpec(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Spec" || obj.Pkg() == nil || obj.Pkg().Name() != "middlebox" {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}

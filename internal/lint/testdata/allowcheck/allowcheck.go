@@ -1,0 +1,16 @@
+// Package allowcheck is pvnlint testdata for suppression hygiene: a
+// reasonless //lint:allow must not suppress anything and is itself a
+// finding (asserted programmatically in TestMalformedAllow, not via
+// want comments, since the annotation occupies the line's comment).
+package allowcheck
+
+import "time"
+
+func Bad() time.Time {
+	return time.Now() //lint:allow nondet
+}
+
+func AboveLine() time.Time {
+	//lint:allow nondet comment-above form with a reason works too
+	return time.Now()
+}

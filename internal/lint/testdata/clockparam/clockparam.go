@@ -1,0 +1,36 @@
+// Package clockparam is pvnlint golden testdata: exported functions in
+// a simulation-deterministic package constructing their own tickers and
+// timers instead of accepting a clock.
+package clockparam
+
+import "time"
+
+func PollLoop(interval time.Duration) *time.Ticker {
+	return time.NewTicker(interval) // want `exported PollLoop constructs time\.NewTicker`
+}
+
+func Deadline(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want `exported Deadline constructs time\.NewTimer`
+}
+
+func Cadence(d time.Duration) <-chan time.Time {
+	return time.Tick(d) // want `exported Cadence constructs time\.Tick`
+}
+
+type Prober struct{}
+
+func (Prober) Run(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) // want `exported Run constructs time\.NewTicker`
+}
+
+// internalTick is unexported: clockparam polices exported API shape
+// only (nondet owns blanket package rules).
+func internalTick(d time.Duration) *time.Ticker {
+	return time.NewTicker(d)
+}
+
+// TakesClock shows the contract-conforming shape: cadence comes from
+// the caller, so netsim can schedule it.
+func TakesClock(now func() time.Duration, every time.Duration) time.Duration {
+	return now() + every
+}

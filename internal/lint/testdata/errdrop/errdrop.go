@@ -1,0 +1,32 @@
+// Package errdrop is pvnlint golden testdata: lifecycle API calls
+// whose error results vanish.
+package errdrop
+
+type Conn struct{}
+
+func (Conn) Process(data []byte) (int, error) { return len(data), nil }
+func (Conn) Teardown() error                  { return nil }
+func (Conn) Deploy() error                    { return nil }
+func (Conn) ExportState() ([]byte, error)     { return nil, nil }
+func (Conn) ImportState(b []byte) error       { return nil }
+func (Conn) Close()                           {}
+
+func Use(c Conn) error {
+	c.Process(nil)     // want `Process's error result is dropped`
+	c.Teardown()       // want `Teardown's error result is dropped`
+	go c.Deploy()      // want `Deploy's error result is dropped in a go statement`
+	defer c.Teardown() // want `Teardown's error result is dropped in a defer`
+	c.ExportState()    // want `ExportState's error result is dropped`
+
+	// The explicit opt-out: blank assignment is visible to review.
+	_ = c.ImportState(nil)
+	_, _ = c.ExportState()
+
+	// Handled: fine.
+	if err := c.Deploy(); err != nil {
+		return err
+	}
+	// No error in the signature: fine.
+	c.Close()
+	return c.Teardown()
+}

@@ -1,0 +1,43 @@
+// Package failpolicy is pvnlint golden testdata: security Spec
+// registrations without an explicit FailPolicy, and panics outside the
+// supervisor file.
+package failpolicy
+
+import "failpolicy/middlebox"
+
+var specs = []*middlebox.Spec{
+	{ // want `middlebox Spec "tls-verify" has Security: true but no explicit FailPolicy`
+		Type:     "tls-verify",
+		Security: true,
+	},
+	{
+		Type:       "pii-detect",
+		Security:   true,
+		FailPolicy: middlebox.FailClosed, // explicit: fine
+	},
+	{
+		Type: "compressor", // not a security box: fine
+	},
+}
+
+func Register(spec middlebox.Spec) {}
+
+func RegisterAll() {
+	Register(middlebox.Spec{Type: "dns-validate", Security: true}) // want `middlebox Spec "dns-validate" has Security: true but no explicit FailPolicy`
+	Register(middlebox.Spec{Type: "malware-scan", Security: true,
+		FailPolicy: middlebox.FailOpen}) // explicit (if debatable): fine
+}
+
+func Validate(b middlebox.Box) {
+	if b == nil {
+		panic("nil box") // want `panic in middlebox code outside the supervisor`
+	}
+}
+
+func MustBuild(spec *middlebox.Spec) middlebox.Box {
+	b, err := spec.New(nil)
+	if err != nil {
+		panic(err) // want `panic in middlebox code outside the supervisor`
+	}
+	return b
+}

@@ -1,0 +1,22 @@
+// Package middlebox is a minimal stub of the real registry types: the
+// failpolicy analyzer matches Spec structurally (a struct named Spec in
+// a package named middlebox), so the golden test needs no dependency on
+// the real runtime.
+package middlebox
+
+type FailPolicy uint8
+
+const (
+	PolicyDefault FailPolicy = iota
+	FailOpen
+	FailClosed
+)
+
+type Box interface{ Name() string }
+
+type Spec struct {
+	Type       string
+	New        func(cfg map[string]string) (Box, error)
+	FailPolicy FailPolicy
+	Security   bool
+}

@@ -1,0 +1,40 @@
+// Package unlockedfield is pvnlint golden testdata: the mixed
+// atomic/plain field-access race (the tunnel Table.Wrap / pvnd srvMu
+// bug class).
+package unlockedfield
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64
+	bytes int64
+	name  string
+}
+
+func (c *Counter) Record(n int64) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64((*int64)(&c.bytes), n) // conversion-wrapped: still an atomic use
+}
+
+func (c *Counter) Snapshot() (int64, int64) {
+	return c.hits, atomic.LoadInt64(&c.bytes) // want `field Counter\.hits is updated with sync/atomic`
+}
+
+func (c *Counter) Reset() {
+	c.bytes = 0 // want `field Counter\.bytes is updated with sync/atomic`
+	c.name = "" // plain-only field: fine
+}
+
+// Label never mixes: plain everywhere, fine.
+func (c *Counter) Label() string { return c.name }
+
+// typed atomics carry their discipline in the type system and are not
+// the analyzer's business.
+type Typed struct {
+	n atomic.Int64
+}
+
+func (t *Typed) Bump() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnlockedFieldAnalyzer (check "unlockedfield") is a heuristic for the
+// mixed-access race this codebase has now shipped twice (tunnel
+// Table.Wrap's Sent/Bytes maps, pvnd's srvMu-free Server counters): a
+// struct field that one site updates through sync/atomic and another
+// site reads or writes as a plain variable. Plain access next to
+// atomic access is a data race the race detector only catches if a
+// test happens to exercise both paths concurrently; the shape is
+// mechanically detectable, so detect it mechanically.
+//
+// Per-package analysis: it collects every field passed by address into
+// a sync/atomic call (including through conversions like
+// (*int64)(&s.f)), then flags every other selector access to the same
+// field that is not itself inside an atomic call.
+var UnlockedFieldAnalyzer = &Analyzer{
+	Name: "unlockedfield",
+	Doc:  "struct field accessed via sync/atomic in one place and by plain read/write in another",
+	Run:  runUnlockedField,
+}
+
+func runUnlockedField(pass *Pass) {
+	// Pass 1: fields used atomically, and the selector nodes blessed by
+	// appearing under &... inside an atomic call argument.
+	atomicAt := map[*types.Var]token.Position{} // field -> first atomic site
+	blessed := map[*ast.SelectorExpr]bool{}
+	pass.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name, _, ok := pass.pkgRef(sel)
+		if !ok || path != "sync/atomic" || !isAtomicOp(name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			fsel := addrOfField(arg)
+			if fsel == nil {
+				continue
+			}
+			field := pass.fieldOf(fsel)
+			if field == nil {
+				continue
+			}
+			blessed[fsel] = true
+			if _, seen := atomicAt[field]; !seen {
+				atomicAt[field] = pass.Pkg.Fset.Position(fsel.Pos())
+			}
+		}
+		return true
+	})
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: every other selector touching one of those fields.
+	pass.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || blessed[sel] {
+			return true
+		}
+		field := pass.fieldOf(sel)
+		if field == nil {
+			return true
+		}
+		if at, ok := atomicAt[field]; ok {
+			pass.Reportf(sel.Pos(), "field %s is updated with sync/atomic at %s:%d but accessed directly here; use atomic.Load/Store (or guard both sides with one mutex)",
+				fieldDesc(pass, sel, field), shortPath(at.Filename), at.Line)
+		}
+		return true
+	})
+}
+
+// isAtomicOp matches sync/atomic's function-style API (the typed
+// atomic.Int64 etc. need no pairing discipline and are ignored).
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addrOfField unwraps conversions and returns the field selector under
+// a &x.f argument, or nil: handles &s.f, (*int64)(&s.f), and
+// (*int64)(unsafe-free chains of single-argument conversions).
+func addrOfField(e ast.Expr) *ast.SelectorExpr {
+	for {
+		e = ast.Unparen(e)
+		switch v := e.(type) {
+		case *ast.CallExpr: // conversion wrapper
+			if len(v.Args) != 1 {
+				return nil
+			}
+			e = v.Args[0]
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return nil
+			}
+			sel, _ := ast.Unparen(v.X).(*ast.SelectorExpr)
+			return sel
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldDesc renders "Type.Field" from the selection's receiver type.
+func fieldDesc(pass *Pass, sel *ast.SelectorExpr, v *types.Var) string {
+	if s, ok := pass.Pkg.Info.Selections[sel]; ok {
+		t := s.Recv()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + v.Name()
+		}
+	}
+	return v.Name()
+}
+
+// shortPath trims a position filename to its last two path elements.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}

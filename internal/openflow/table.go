@@ -34,7 +34,7 @@ type FlowEntry struct {
 
 // String implements fmt.Stringer.
 func (e *FlowEntry) String() string {
-	return fmt.Sprintf("prio=%d %s -> %v (pkts=%d)", e.Priority, e.Match.String(), e.Actions, e.Packets)
+	return fmt.Sprintf("prio=%d %s -> %v (pkts=%d)", e.Priority, e.Match.String(), e.Actions, atomic.LoadInt64(&e.Packets))
 }
 
 // RuleTable is the table surface flow mods and the deployment pipeline
