@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short check bench experiments examples cover clean
+.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short e16-determinism check bench experiments examples cover clean
 
 all: build vet test
 
@@ -53,13 +53,22 @@ race:
 test-race:
 	$(GO) test -race ./internal/discovery/ ./internal/deployserver/ ./internal/netsim/ ./cmd/pvnd/
 
-# A short seed-corpus + random fuzz pass over the packet decoder: ten
-# seconds of go-fuzz on Decode, the parser every untrusted byte crosses.
+# A short seed-corpus + random fuzz pass over every parser that handles
+# untrusted bytes: the packet decoder, the DHT wire envelope, and the
+# distributed-store module manifest.
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/packet/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeEnvelope -fuzztime=10s ./internal/overlay/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeModule -fuzztime=10s ./internal/store/
 
-# The pre-merge gate: build, lint, full tests, full race pass, short fuzz.
-check: build lint test race fuzz-short
+# The overlay determinism gate: the E16 table must be bit-identical
+# across runs under the race detector (DESIGN.md §12).
+e16-determinism:
+	$(GO) test -race -run 'TestExperimentsDeterministic|TestE16OverlayShape' ./internal/experiments/
+
+# The pre-merge gate: build, lint, full tests, full race pass, the E16
+# determinism pair, short fuzz.
+check: build lint test race e16-determinism fuzz-short
 
 # One iteration of every benchmark (experiments E1-E12 + micro-benches).
 bench:

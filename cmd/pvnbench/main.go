@@ -10,9 +10,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -139,6 +142,13 @@ var all = []experiment{
 		}
 		return experiments.E15(p)
 	}},
+	{"E16", "decentralized discovery overlay: DHT, store, gossip", func(q bool) *experiments.Result {
+		p := experiments.DefaultE16
+		if q {
+			p.Nodes, p.Lookups = 48, 16
+		}
+		return experiments.E16(p)
+	}},
 }
 
 // wallclock is pvnbench's explicit measurement mode: real elapsed-time
@@ -156,10 +166,50 @@ func benchTiming() experiments.Stopwatch {
 	return nil // deterministic default
 }
 
+// benchArtifact is the machine-readable record -bench-json writes per
+// experiment: wall time and allocation cost of the run, plus whatever
+// p50/p99/count metrics the experiment itself measured. Wall time and
+// allocations are machine-dependent by nature; the metrics map is
+// bit-deterministic in the seed.
+type benchArtifact struct {
+	ID        string             `json:"id"`
+	Title     string             `json:"title"`
+	WallMS    float64            `json:"wall_ms"`
+	Ops       float64            `json:"ops,omitempty"`
+	OpsPerSec float64            `json:"ops_per_sec,omitempty"`
+	AllocsOp  float64            `json:"allocs_per_op,omitempty"`
+	BytesOp   float64            `json:"bytes_per_op,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+// writeBenchJSON records one experiment run under dir/BENCH_<id>.json.
+func writeBenchJSON(dir string, res *experiments.Result, wall time.Duration, allocs, allocBytes uint64) error {
+	art := benchArtifact{
+		ID:      res.ID,
+		Title:   res.Title,
+		WallMS:  float64(wall) / float64(time.Millisecond),
+		Metrics: res.Metrics,
+	}
+	if ops, ok := res.Metrics["ops"]; ok && ops > 0 {
+		art.Ops = ops
+		if wall > 0 {
+			art.OpsPerSec = ops / wall.Seconds()
+		}
+		art.AllocsOp = float64(allocs) / ops
+		art.BytesOp = float64(allocBytes) / ops
+	}
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+res.ID+".json"), append(blob, '\n'), 0o644)
+}
+
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
+	benchJSON := flag.String("bench-json", "", "directory to write BENCH_<exp>.json artifacts into")
 	flag.BoolVar(&wallclock, "wallclock", false, "measure E1/E11 throughput with the real clock (tables become machine-dependent)")
 	flag.Parse()
 
@@ -182,10 +232,23 @@ func main() {
 		if len(want) > 0 && !want[strings.ToUpper(e.id)] {
 			continue
 		}
+		var before runtime.MemStats
+		if *benchJSON != "" {
+			runtime.ReadMemStats(&before)
+		}
 		start := time.Now()
 		res := e.run(*quick)
+		wall := time.Since(start)
 		fmt.Println(res.String())
-		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", e.id, wall.Round(time.Millisecond))
+		if *benchJSON != "" {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			if err := writeBenchJSON(*benchJSON, res, wall, after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc); err != nil {
+				fmt.Fprintf(os.Stderr, "pvnbench: bench-json: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		ran++
 	}
 	if ran == 0 {

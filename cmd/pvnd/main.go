@@ -17,9 +17,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pvn/internal/core"
@@ -29,6 +32,7 @@ import (
 	"pvn/internal/middlebox"
 	"pvn/internal/middlebox/mbx"
 	"pvn/internal/openflow"
+	"pvn/internal/overlay"
 	"pvn/internal/packet"
 	"pvn/internal/pki"
 	"pvn/internal/pvnc"
@@ -67,10 +71,71 @@ func main() {
 		serveMain(os.Args[2:])
 	case "client":
 		clientMain(os.Args[2:])
+	case "advertise":
+		advertiseMain(os.Args[2:])
 	default:
-		fmt.Fprintln(os.Stderr, "usage: pvnd {serve|client} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pvnd {serve|client|advertise} [flags]")
 		os.Exit(2)
 	}
+}
+
+// advertiseMain emits a signed overlay offer-advertisement record as
+// JSON: the blob a provider publishes under its service key in the
+// decentralized discovery overlay (DESIGN.md §12). Devices re-verify
+// the signature and the service-key binding at fetch time, so the
+// output is self-certifying — it can be relayed by any untrusted node.
+func advertiseMain(args []string) {
+	fs := flag.NewFlagSet("advertise", flag.ExitOnError)
+	provider := fs.String("provider", "pvnd-isp", "provider name the advertisement is signed as")
+	deploySrv := fs.String("deploy-server", "127.0.0.1:7474", "deploy server address quoted in the ad")
+	service := fs.String("service", "pvn", "overlay service name the record is published under")
+	supported := fs.String("supported", "tls-verify=3,pii-detect=3,transcoder=5", "comma-separated type=price list")
+	seq := fs.Uint64("seq", 1, "advertisement sequence number (higher supersedes)")
+	ttl := fs.Duration("offer-ttl", 30*time.Second, "how long offers derived from the ad stay deployable")
+	keySeed := fs.Uint64("key-seed", 0, "deterministic provider-key seed (0 = fresh random key)")
+	fs.Parse(args)
+
+	prices := map[string]int64{}
+	for _, ent := range strings.Split(*supported, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, price, ok := strings.Cut(ent, "=")
+		if !ok {
+			log.Fatalf("pvnd advertise: -supported entry %q is not type=price", ent)
+		}
+		p, err := strconv.ParseInt(price, 10, 64)
+		if err != nil || p < 0 {
+			log.Fatalf("pvnd advertise: bad price in %q", ent)
+		}
+		prices[name] = p
+	}
+
+	var rng io.Reader // nil = crypto/rand
+	if *keySeed != 0 {
+		rng = pki.NewDeterministicRand(*keySeed)
+	}
+	kp, err := pki.GenerateKey(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ad := overlay.OfferAd{
+		Provider:     *provider,
+		DeployServer: *deploySrv,
+		Standards:    []string{discovery.StandardMatchAction, discovery.StandardMiddlebox},
+		Supported:    prices,
+		OfferTTL:     *ttl,
+	}
+	rec := overlay.NewOfferRecord(*service, ad, kp, *seq)
+	if err := rec.Verify(); err != nil {
+		log.Fatalf("pvnd advertise: produced unverifiable record: %v", err)
+	}
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(blob, '\n'))
 }
 
 func serveMain(args []string) {

@@ -36,6 +36,29 @@ func (l *Ledger) Violations(provider string) []Violation {
 	return append([]Violation(nil), l.violations[provider]...)
 }
 
+// AuditCount returns how many audit passes ran against a provider —
+// the denominator reputation scores divide by. Gossip folds it into
+// claims so remote devices weigh violations against audit volume.
+func (l *Ledger) AuditCount(provider string) int { return l.audits[provider] }
+
+// Providers returns every provider the ledger has evidence about
+// (audited or violating), sorted for deterministic iteration.
+func (l *Ledger) Providers() []string {
+	set := map[string]bool{}
+	for p := range l.audits {
+		set[p] = true
+	}
+	for p := range l.violations {
+		set[p] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Reputation returns a score in [0,1]: 1 means no violation ever
 // observed; each violation-bearing audit drags it down proportionally.
 // Providers never audited score 1 (no evidence either way).

@@ -169,6 +169,14 @@ type Session struct {
 	Done   func(SessionResult)
 	Config SessionConfig
 
+	// OverlayQuery, when set, is consulted on every DM attempt beside
+	// the broadcast transport: it receives the DM and a delivery
+	// callback that feeds synthesized offers into the session exactly
+	// like offers arriving off the wire (same stale-seq and duplicate
+	// suppression). The decentralized discovery overlay plugs in here;
+	// the broadcast path keeps working unchanged as the fallback.
+	OverlayQuery func(dm *DM, deliver func(*Offer))
+
 	cfg     SessionConfig
 	state   sessionState
 	started time.Duration
@@ -218,6 +226,9 @@ func (s *Session) sendDM(dm *DM) {
 	s.timerGen++
 	gen := s.timerGen
 	s.Send(dm)
+	if s.OverlayQuery != nil {
+		s.OverlayQuery(dm, s.HandleOffer)
+	}
 	s.Clock.Schedule(s.cfg.OfferWindow, func() { s.closeOfferWindow(gen) })
 }
 

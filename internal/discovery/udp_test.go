@@ -50,6 +50,42 @@ func TestDiscoverUDPFloodsAndCollects(t *testing.T) {
 	}
 }
 
+// TestDiscoverUDPTieBreak: two providers answer the same broadcast
+// with byte-identical terms. Selection must not depend on which reply
+// arrives first off the socket — BestOffer breaks the cost tie by
+// provider name, so the winner is the same for every arrival order.
+func TestDiscoverUDPTieBreak(t *testing.T) {
+	mk := func(name string) net.Addr {
+		p := fullProvider()
+		p.Provider = name
+		return udpProvider(t, p)
+	}
+	zebra, apple := mk("isp-zebra"), mk("isp-apple")
+
+	for _, zone := range [][]net.Addr{{zebra, apple}, {apple, zebra}} {
+		dev, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := NewNegotiator("dev1", testConfig(t), 10_000, StrategyStrict)
+		offers, err := DiscoverUDP(dev, n.MakeDM(), zone, 300*time.Millisecond)
+		dev.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(offers) != 2 {
+			t.Fatalf("offers %d, want 2", len(offers))
+		}
+		best, dec, ok := n.BestOffer(offers, 0)
+		if !ok || best.Provider != "isp-apple" {
+			t.Fatalf("zone %v: best %+v, want isp-apple (name tie-break)", zone, best)
+		}
+		if other, odec, _ := n.BestOffer([]*Offer{offers[1], offers[0]}, 0); other.Provider != best.Provider || odec.Cost != dec.Cost {
+			t.Fatalf("tie-break depends on offer order: %s vs %s", other.Provider, best.Provider)
+		}
+	}
+}
+
 func TestServeUDPIgnoresGarbage(t *testing.T) {
 	addr := udpProvider(t, fullProvider())
 	dev, err := net.ListenPacket("udp", "127.0.0.1:0")

@@ -28,6 +28,18 @@ type Result struct {
 	Rows [][]string
 	// Findings summarize whether the claim's shape held.
 	Findings []string
+	// Metrics carries machine-readable scalars (latencies, percentiles,
+	// counts) beside the formatted rows; cmd/pvnbench folds them into
+	// its BENCH_<id>.json artifacts.
+	Metrics map[string]float64
+}
+
+// SetMetric records one machine-readable scalar.
+func (r *Result) SetMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
 }
 
 // AddRow appends a formatted row.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"strconv"
 	"strings"
@@ -494,6 +495,78 @@ func TestE15RoamingShape(t *testing.T) {
 	}
 }
 
+// TestE16OverlayShape checks the decentralized-discovery acceptance
+// criteria at the full 256-node scale: every node joins, iterative
+// lookups land on the exact target within the O(log n) round bound,
+// broadcast attaches to the cheap liar while the overlay's gossiped
+// reputation filters it, tampered store replicas are rejected at
+// fetch, and churn/partition recovery hold.
+func TestE16OverlayShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node overlay run; skipped in -short")
+	}
+	p := DefaultE16
+	res := E16(p)
+	find := func(label string) []string {
+		for _, row := range res.Rows {
+			if row[0] == label {
+				return row
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return nil
+	}
+
+	// Join: all nodes bootstrapped through one contact.
+	if got := find("join")[2]; got != fmt.Sprintf("%d/%d", p.Nodes, p.Nodes) {
+		t.Fatalf("join %s, want %d/%d", got, p.Nodes, p.Nodes)
+	}
+	// Lookup: every sample finds the exact target, within the log bound.
+	if got := find("lookup")[2]; got != fmt.Sprintf("%d/%d", p.Lookups, p.Lookups) {
+		t.Fatalf("lookup exactness %s, want %d/%d", got, p.Lookups, p.Lookups)
+	}
+	hopBound := float64(bits.Len(uint(p.Nodes)))
+	if p99 := res.Metrics["lookup_hops_p99"]; p99 > hopBound {
+		t.Fatalf("lookup p99 %.1f rounds exceeds O(log n) bound %.0f", p99, hopBound)
+	}
+
+	// Discovery: broadcast takes the cheapest (lying) provider; the
+	// overlay path filters it on gossiped reputation and attaches to an
+	// honest one.
+	if got := find("discover/broadcast")[1]; !strings.Contains(got, "isp-liar") {
+		t.Fatalf("broadcast row %q, want attach to isp-liar", got)
+	}
+	if got := find("discover/overlay")[1]; !strings.Contains(got, "isp-honest") {
+		t.Fatalf("overlay row %q, want attach to isp-honest", got)
+	}
+	if s := res.Metrics["gossip_liar_score"]; s >= 0.5 {
+		t.Fatalf("liar gossip score %.2f, want < 0.5 (filtered)", s)
+	}
+	// Ranking puts the liar last despite being cheapest.
+	if got := find("rank")[1]; !strings.HasSuffix(got, "isp-liar") {
+		t.Fatalf("rank %q, want isp-liar last", got)
+	}
+
+	// Store: the honest fetch installs; with every replica tampering,
+	// all fetched records are rejected and none install.
+	if got := find("store/fetch")[2]; !strings.HasPrefix(got, "1 installed, 0 rejected") {
+		t.Fatalf("store fetch %q, want 1 installed, 0 rejected", got)
+	}
+	tampered := find("store/tampered")[2]
+	if !strings.HasPrefix(tampered, "0 installed") || strings.Contains(tampered, "0 rejected") {
+		t.Fatalf("tampered fetch %q, want 0 installed and all rejected", tampered)
+	}
+
+	// Churn: every post-churn service lookup still returns offers.
+	if got := find("churn")[2]; got != fmt.Sprintf("%d/%d", p.Lookups/2, p.Lookups/2) {
+		t.Fatalf("churn lookups %s, want %d/%d", got, p.Lookups/2, p.Lookups/2)
+	}
+	// Partition: heal restores fetches on both sides.
+	if got := find("partition")[1]; !strings.Contains(got, "healed a:true b:true") {
+		t.Fatalf("partition row %q, want both sides healed", got)
+	}
+}
+
 // TestE13NoGoroutineLeak: the whole lifecycle runs on the simulated
 // clock; an experiment run must not leave goroutines behind.
 func TestE13NoGoroutineLeak(t *testing.T) {
@@ -530,6 +603,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E13", func() string { p := DefaultE13; p.Devices = 8; return E13(p).String() }},
 		{"E14", func() string { p := DefaultE14; p.PacketsPerPhase = 200; return E14(p).String() }},
 		{"E15", func() string { return E15(DefaultE15).String() }},
+		{"E16", func() string { p := DefaultE16; p.Nodes, p.Lookups = 48, 16; return E16(p).String() }},
 	}
 	for _, c := range pairs {
 		a, b := c.run(), c.run()

@@ -114,6 +114,7 @@ func DefaultConfig() *Config {
 			"pvn/internal/core":        true,
 			"pvn/internal/deployserver": true,
 			"pvn/internal/dataplane":   true,
+			"pvn/internal/overlay":     true,
 		},
 		MiddleboxPkgs: map[string]bool{
 			"pvn/internal/middlebox":     true,

@@ -141,6 +141,31 @@ func NewStarTopology(seed uint64, n int, leafLink LinkConfig) (*Network, *Node, 
 	return net, hub, leaves
 }
 
+// NewDualStarTopology builds two hub-and-spoke clusters joined by one
+// hub-to-hub bridge — the minimal topology with a partitionable cut.
+// Severing the bridge (Port.SetConfig with LossRate 1 on both hub
+// ports) splits the network into two islands; restoring it heals them.
+// Leaves are named a0..a(nA-1) and b0..b(nB-1); both hubs route.
+func NewDualStarTopology(seed uint64, nA, nB int, leafLink, bridge LinkConfig) (*Network, [2]*Node, [2][]*Node) {
+	net := NewNetwork(seed)
+	hubs := [2]*Node{net.AddNode("hub-a"), net.AddNode("hub-b")}
+	var leaves [2][]*Node
+	prefixes := [2]string{"a", "b"}
+	counts := [2]int{nA, nB}
+	for side := 0; side < 2; side++ {
+		leaves[side] = make([]*Node, counts[side])
+		for i := range leaves[side] {
+			leaves[side][i] = net.AddNode(prefixes[side] + itoa(i))
+			net.Connect(leaves[side][i], hubs[side], leafLink)
+		}
+	}
+	net.Connect(hubs[0], hubs[1], bridge)
+	net.ComputeRoutes()
+	hubs[0].Handler = RouterHandler(nil)
+	hubs[1].Handler = RouterHandler(nil)
+	return net, hubs, leaves
+}
+
 // NewChainTopology builds n nodes in a line, all joined by link. Nodes are
 // named n0..n(n-1); interior nodes route. Useful for path-inflation and
 // middlebox-chain experiments.

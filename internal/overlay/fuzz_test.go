@@ -1,0 +1,50 @@
+package overlay
+
+import (
+	"bytes"
+	"testing"
+
+	"pvn/internal/pki"
+)
+
+// FuzzDecodeEnvelope: the DHT wire decoder parses every byte a hostile
+// peer sends. It must never panic, must enforce its bounds, and
+// anything it accepts must survive an Encode/Decode round trip.
+func FuzzDecodeEnvelope(f *testing.F) {
+	kp, err := pki.GenerateKey(pki.NewDeterministicRand(0xfe1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	self := IDFromPublicKey(kp.Public)
+	from := PeerInfo{ID: self, Addr: "n0", Key: kp.Public}
+	seed := &Envelope{Kind: KindFindNode, RPC: 7, From: from, Target: ServiceKey("pvn")}
+	f.Add(seed.Encode())
+	rec := NewOfferRecord("pvn", OfferAd{Provider: "isp", DeployServer: "d",
+		Standards: []string{"match-action"}, Supported: map[string]int64{"tls-verify": 3}}, kp, 1)
+	f.Add((&Envelope{Kind: KindStore, RPC: 8, From: from, Record: rec}).Encode())
+	f.Add((&Envelope{Kind: KindNodes, RPC: 9, From: from, Peers: []PeerInfo{from},
+		Gossip: []RepClaim{{Provider: "isp", Reporter: "dev", Seq: 1, Audits: 4, Violations: 1}}}).Encode())
+	f.Add([]byte(`{"kind":"ping"}`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		if !knownKinds[e.Kind] || !e.From.valid() {
+			t.Fatalf("accepted envelope with bad kind/sender: %+v", e)
+		}
+		if len(e.Peers) > maxPeers || len(e.Records) > maxRecords || len(e.Gossip) > maxGossipClaims {
+			t.Fatalf("accepted envelope exceeding bounds: %d peers %d records %d claims",
+				len(e.Peers), len(e.Records), len(e.Gossip))
+		}
+		again, err := DecodeEnvelope(e.Encode())
+		if err != nil {
+			t.Fatalf("accepted envelope failed re-decode: %v", err)
+		}
+		if !bytes.Equal(e.Encode(), again.Encode()) {
+			t.Fatal("envelope changed across Encode/Decode round trip")
+		}
+	})
+}

@@ -1,0 +1,433 @@
+package overlay
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"pvn/internal/auditor"
+	"pvn/internal/discovery"
+	"pvn/internal/pki"
+	"pvn/internal/store"
+)
+
+func testKey(t testing.TB, seed uint64) pki.KeyPair {
+	t.Helper()
+	kp, err := pki.GenerateKey(pki.NewDeterministicRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func idWithBytes(b ...byte) ID {
+	var id ID
+	copy(id[:], b)
+	return id
+}
+
+func TestIDDistanceOrderAndBuckets(t *testing.T) {
+	a := idWithBytes(0x00)
+	b := idWithBytes(0x01)
+	c := idWithBytes(0x80)
+
+	if Distance(a, a) != (ID{}) {
+		t.Fatal("distance to self must be zero")
+	}
+	if !DistanceLess(b, c, a) {
+		t.Fatal("0x01 is XOR-closer to 0x00 than 0x80")
+	}
+	// Highest differing bit: 0x80 differs from 0x00 in bit 255 (the
+	// top), 0x01 in bit 248 of the first byte's low bit.
+	if got := BucketIndex(a, c); got != IDBits-1 {
+		t.Fatalf("bucket(0x00,0x80) = %d, want %d", got, IDBits-1)
+	}
+	if got := BucketIndex(a, b); got != IDBits-8 {
+		t.Fatalf("bucket(0x00,0x01) = %d, want %d", got, IDBits-8)
+	}
+	if got := BucketIndex(a, a); got != -1 {
+		t.Fatalf("bucket(self,self) = %d, want -1", got)
+	}
+}
+
+func TestIDJSONRoundTrip(t *testing.T) {
+	id := ContentKey([]byte("hello"))
+	blob, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ID
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip %s != %s", back, id)
+	}
+	if err := json.Unmarshal([]byte(`"abcd"`), &back); err == nil {
+		t.Fatal("short hex must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`42`), &back); err == nil {
+		t.Fatal("non-string must be rejected")
+	}
+	if _, err := ParseID("zz"); err == nil {
+		t.Fatal("bad hex must be rejected")
+	}
+}
+
+func TestServiceAndContentKeysDiffer(t *testing.T) {
+	if ServiceKey("pvn") == ContentKey([]byte("pvn")) {
+		t.Fatal("service keys must live in a domain-separated space")
+	}
+	if ServiceKey("a") == ServiceKey("b") {
+		t.Fatal("distinct services must hash apart")
+	}
+}
+
+func TestTableUpdateAndEviction(t *testing.T) {
+	self := idWithBytes(0x00)
+	tb := NewTable(self, 2)
+
+	// Two peers in the same top bucket (0x80, 0x81 both differ at bit 255).
+	p1 := Peer{ID: idWithBytes(0x80), Addr: "p1"}
+	p2 := Peer{ID: idWithBytes(0x81), Addr: "p2"}
+	p3 := Peer{ID: idWithBytes(0x82), Addr: "p3"}
+	if !tb.Update(p1, 0) || !tb.Update(p2, time.Second) {
+		t.Fatal("inserts into empty bucket must succeed")
+	}
+	// Bucket full, no strikes: newcomer dropped (long-lived bias).
+	if tb.Update(p3, 2*time.Second) {
+		t.Fatal("full bucket without failures must drop the newcomer")
+	}
+	// One strike is not eviction...
+	if tb.Fail(p1.ID) {
+		t.Fatal("first strike must not evict")
+	}
+	// ...but now the newcomer can replace the failing contact.
+	if !tb.Update(p3, 3*time.Second) {
+		t.Fatal("newcomer must replace a failing contact")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tb.Len())
+	}
+	// Two consecutive strikes evict.
+	tb.Fail(p2.ID)
+	if !tb.Fail(p2.ID) {
+		t.Fatal("second strike must evict")
+	}
+	if tb.Update(Peer{ID: self, Addr: "self"}, 0) {
+		t.Fatal("self must never be bucketed")
+	}
+	tb.Remove(p3.ID)
+	if tb.Len() != 0 {
+		t.Fatalf("len = %d after removals, want 0", tb.Len())
+	}
+}
+
+func TestTableClosestOrdering(t *testing.T) {
+	self := idWithBytes(0x00)
+	tb := NewTable(self, 16)
+	peers := []Peer{
+		{ID: idWithBytes(0x80), Addr: "far"},
+		{ID: idWithBytes(0x01), Addr: "near"},
+		{ID: idWithBytes(0x10), Addr: "mid"},
+	}
+	for _, p := range peers {
+		tb.Update(p, 0)
+	}
+	got := tb.Closest(self, 3)
+	if len(got) != 3 || got[0].Addr != "near" || got[1].Addr != "mid" || got[2].Addr != "far" {
+		t.Fatalf("closest order wrong: %+v", got)
+	}
+	if got := tb.Closest(self, 2); len(got) != 2 {
+		t.Fatalf("closest(2) returned %d", len(got))
+	}
+}
+
+func validEnvelope(t *testing.T) *Envelope {
+	kp := testKey(t, 7)
+	return &Envelope{
+		Kind: KindPing,
+		RPC:  1,
+		From: PeerInfo{ID: IDFromPublicKey(kp.Public), Addr: "n1", Key: kp.Public},
+	}
+}
+
+func TestDecodeEnvelopeAcceptsValid(t *testing.T) {
+	e := validEnvelope(t)
+	got, err := DecodeEnvelope(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindPing || got.From.Addr != "n1" {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestDecodeEnvelopeRejects(t *testing.T) {
+	base := validEnvelope(t)
+	kp := testKey(t, 8)
+
+	cases := map[string][]byte{
+		"garbage":   []byte("not json"),
+		"oversized": make([]byte, maxEnvelopeBytes+1),
+	}
+	bad := *base
+	bad.Kind = "exec"
+	cases["unknown kind"] = bad.Encode()
+
+	spoofed := *base
+	spoofed.From.Key = kp.Public // key does not hash to claimed ID
+	cases["spoofed sender key"] = spoofed.Encode()
+
+	noaddr := *base
+	noaddr.From.Addr = ""
+	cases["empty sender addr"] = noaddr.Encode()
+
+	flood := *base
+	for i := 0; i < maxPeers+1; i++ {
+		flood.Peers = append(flood.Peers, PeerInfo{ID: idWithBytes(byte(i + 1)), Addr: "x"})
+	}
+	cases["peer flood"] = flood.Encode()
+
+	badrec := *base
+	badrec.Kind = KindStore
+	badrec.Record = &Record{Kind: "bogus", Publisher: "p", PublicKey: kp.Public, Body: []byte("{}"), Key: idWithBytes(1)}
+	cases["bad record kind"] = badrec.Encode()
+
+	badclaim := *base
+	badclaim.Gossip = []RepClaim{{Provider: "", Reporter: "r", Audits: 1}}
+	cases["empty gossip provider"] = badclaim.Encode()
+
+	for name, data := range cases {
+		if _, err := DecodeEnvelope(data); err == nil {
+			t.Errorf("%s: decode must fail", name)
+		}
+	}
+}
+
+func TestOfferRecordSignVerifyTamper(t *testing.T) {
+	kp := testKey(t, 10)
+	ad := OfferAd{
+		Provider:     "isp-a",
+		DeployServer: "d",
+		Standards:    []string{discovery.StandardMatchAction},
+		Supported:    map[string]int64{"tls-verify": 5},
+	}
+	rec := NewOfferRecord("pvn", ad, kp, 1)
+	if err := rec.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOfferAd(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered body breaks the signature.
+	evil := *rec
+	evil.Body = []byte(`{"provider":"isp-a","supported":{"tls-verify":0}}`)
+	if err := evil.Verify(); !errors.Is(err, ErrBadRecordSig) {
+		t.Fatalf("tampered body: %v, want ErrBadRecordSig", err)
+	}
+
+	// Re-signed under a different key: signature passes, but the key
+	// binding is intact only if the record still claims its own service.
+	wrongKey := *rec
+	wrongKey.Key = ServiceKey("other-service")
+	wrongKey.Sign(kp.Private)
+	if err := wrongKey.Verify(); !errors.Is(err, ErrBadServiceKey) {
+		t.Fatalf("wrong service key: %v, want ErrBadServiceKey", err)
+	}
+}
+
+func signedModule(t *testing.T, kp pki.KeyPair) *store.Module {
+	t.Helper()
+	m := &store.Module{
+		Name: "acme/blocker", Version: "1.0", Publisher: "acme",
+		Type: "tracker-block", Config: map[string]string{"list": "ads.example"},
+	}
+	m.Sign(kp.Private)
+	return m
+}
+
+func TestModuleRecordContentAddressing(t *testing.T) {
+	kp := testKey(t, 11)
+	m := signedModule(t, kp)
+	rec := NewModuleRecord(m, kp, 1)
+	if rec.Key != ModuleKey(m) {
+		t.Fatal("record key must be the content address")
+	}
+	got, err := DecodeModuleRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.ContentAddress() != m.ContentAddress() {
+		t.Fatalf("round trip %+v", got)
+	}
+
+	// A malicious replica swaps the config and re-signs the record with
+	// its own key: the content no longer hashes to the key the fetcher
+	// asked for.
+	evilKey := testKey(t, 12)
+	tampered := *m
+	tampered.Config = map[string]string{"list": "nothing"}
+	tampered.Sign(evilKey.Private)
+	evil := *rec
+	evil.Body = tampered.Encode()
+	evil.PublicKey = evilKey.Public
+	evil.Sign(evilKey.Private)
+	if err := evil.Verify(); !errors.Is(err, ErrBadContentKey) {
+		t.Fatalf("tampered module: %v, want ErrBadContentKey", err)
+	}
+}
+
+func TestInstallRemoteTrustChain(t *testing.T) {
+	kp := testKey(t, 13)
+	m := signedModule(t, kp)
+	s := store.New()
+	s.RegisterPublisher("acme", kp.Public)
+
+	if _, err := s.InstallRemote("alice", m, m.ContentAddress()); err != nil {
+		t.Fatal(err)
+	}
+	// Tampered manifest: wrong address.
+	tampered := *m
+	tampered.Config = map[string]string{"list": "evil"}
+	if _, err := s.InstallRemote("alice", &tampered, m.ContentAddress()); !errors.Is(err, store.ErrAddressMismatch) {
+		t.Fatalf("tampered: %v, want ErrAddressMismatch", err)
+	}
+	// Unknown publisher.
+	other := *m
+	other.Publisher = "nobody"
+	if _, err := s.InstallRemote("alice", &other, other.ContentAddress()); !errors.Is(err, store.ErrUnknownPublisher) {
+		t.Fatalf("unknown publisher: %v", err)
+	}
+}
+
+func TestOfferAdToOffer(t *testing.T) {
+	ad := &OfferAd{
+		Provider:     "isp-a",
+		DeployServer: "d",
+		Standards:    []string{discovery.StandardMatchAction},
+		Supported:    map[string]int64{"tls-verify": 5, "pii-detect": 7},
+	}
+	rec := &Record{Seq: 3}
+	dm := &discovery.DM{
+		Seq:           2,
+		Standards:     []string{discovery.StandardMatchAction},
+		RequiredTypes: []string{"tls-verify", "pii-detect", "transcoder"},
+	}
+	o := ad.ToOffer(rec, dm, time.Second)
+	if o == nil {
+		t.Fatal("matching standards must yield an offer")
+	}
+	if o.TotalCost != 12 || len(o.SupportedTypes) != 2 || o.DMSeq != 2 {
+		t.Fatalf("offer %+v", o)
+	}
+	if o.ExpiresAt != time.Second+30*time.Second {
+		t.Fatalf("expiry %v", o.ExpiresAt)
+	}
+
+	noShared := &discovery.DM{Seq: 2, Standards: []string{"other/1"}}
+	if ad.ToOffer(rec, noShared, 0) != nil {
+		t.Fatal("no shared standard must yield nil")
+	}
+}
+
+func TestRepStoreMergeAndScore(t *testing.T) {
+	rs := NewRepStore()
+	c1 := RepClaim{Provider: "isp-a", Reporter: "dev1", Seq: 1, Audits: 10, Violations: 5, Bypasses: 2}
+	if n := rs.Merge([]RepClaim{c1}); n != 1 {
+		t.Fatalf("merge = %d, want 1", n)
+	}
+	// Stale seq is ignored; newer supersedes.
+	stale := c1
+	stale.Violations = 0
+	if n := rs.Merge([]RepClaim{stale}); n != 0 {
+		t.Fatal("same-seq claim must not re-merge")
+	}
+	newer := c1
+	newer.Seq, newer.Violations, newer.Bypasses = 2, 0, 0
+	if n := rs.Merge([]RepClaim{newer}); n != 1 {
+		t.Fatal("newer seq must supersede")
+	}
+	if s, ok := rs.Score("isp-a"); !ok || s != 1 {
+		t.Fatalf("score %v %v", s, ok)
+	}
+	// Second reporter with a bad view: mean of 1 and 0.5.
+	rs.Merge([]RepClaim{{Provider: "isp-a", Reporter: "dev2", Seq: 1, Audits: 10, Violations: 5}})
+	if s, _ := rs.Score("isp-a"); s != 0.75 {
+		t.Fatalf("score %v, want 0.75", s)
+	}
+	if _, ok := rs.Score("never-heard"); ok {
+		t.Fatal("unknown provider must report !ok")
+	}
+	// Malformed claims never merge.
+	if n := rs.Merge([]RepClaim{{Provider: "x", Reporter: "r", Audits: -1}}); n != 0 {
+		t.Fatal("malformed claim merged")
+	}
+}
+
+func TestRepStoreSampleRotates(t *testing.T) {
+	rs := NewRepStore()
+	for i := 0; i < 4; i++ {
+		rs.Merge([]RepClaim{{Provider: "p" + string(rune('a'+i)), Reporter: "r", Seq: 1, Audits: 1}})
+	}
+	first := rs.Sample(2)
+	second := rs.Sample(2)
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("sample sizes %d %d", len(first), len(second))
+	}
+	if first[0].Provider == second[0].Provider {
+		t.Fatal("successive samples must rotate through the claim set")
+	}
+	if rs.Sample(0) != nil {
+		t.Fatal("zero-size sample must be nil")
+	}
+}
+
+func TestFoldLedger(t *testing.T) {
+	l := auditor.NewLedger()
+	for i := 0; i < 4; i++ {
+		l.RecordAudit("isp-liar")
+	}
+	l.RecordViolation(auditor.Violation{Provider: "isp-liar", Kind: auditor.ViolationSecurityBypass})
+	l.RecordViolation(auditor.Violation{Provider: "isp-liar", Kind: auditor.ViolationContentMod})
+	l.RecordAudit("isp-honest")
+
+	claims := FoldLedger("dev1", l, 3)
+	if len(claims) != 2 {
+		t.Fatalf("claims %d, want 2", len(claims))
+	}
+	// Deterministic order: isp-honest < isp-liar.
+	if claims[0].Provider != "isp-honest" || claims[1].Provider != "isp-liar" {
+		t.Fatalf("order %+v", claims)
+	}
+	liar := claims[1]
+	if liar.Audits != 4 || liar.Violations != 2 || liar.Bypasses != 1 || liar.Seq != 3 {
+		t.Fatalf("liar claim %+v", liar)
+	}
+	if !liar.wellFormed() {
+		t.Fatal("folded claim must be well-formed")
+	}
+}
+
+func TestRankOffers(t *testing.T) {
+	rs := NewRepStore()
+	rs.Merge([]RepClaim{
+		{Provider: "isp-liar", Reporter: "dev2", Seq: 1, Audits: 10, Violations: 8},
+		{Provider: "isp-honest", Reporter: "dev2", Seq: 1, Audits: 10, Violations: 0},
+	})
+	offers := []*discovery.Offer{
+		{Provider: "isp-liar", TotalCost: 1},    // cheapest but gossiped bad
+		{Provider: "isp-honest", TotalCost: 10}, // gossiped clean
+		{Provider: "isp-new", TotalCost: 5},     // never heard of
+	}
+	ranked := RankOffers(offers, rs)
+	if ranked[0].Provider != "isp-new" || ranked[1].Provider != "isp-honest" || ranked[2].Provider != "isp-liar" {
+		t.Fatalf("rank order: %s %s %s", ranked[0].Provider, ranked[1].Provider, ranked[2].Provider)
+	}
+	// Ranking is non-destructive.
+	if offers[0].Provider != "isp-liar" {
+		t.Fatal("input slice mutated")
+	}
+}

@@ -1,0 +1,160 @@
+package overlay
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+)
+
+// Wire messages. The overlay speaks one envelope type over netsim
+// links; DecodeEnvelope is the boundary every untrusted byte crosses,
+// so it validates shape and bounds before anything else looks at the
+// message (and is fuzzed in fuzz_test.go).
+
+// Message kinds.
+const (
+	KindPing      = "ping"
+	KindPong      = "pong"
+	KindFindNode  = "find-node"
+	KindNodes     = "nodes"
+	KindFindValue = "find-value"
+	KindValue     = "value"
+	KindStore     = "store"
+	KindStored    = "stored"
+)
+
+// knownKinds is the closed set DecodeEnvelope accepts.
+var knownKinds = map[string]bool{
+	KindPing: true, KindPong: true,
+	KindFindNode: true, KindNodes: true,
+	KindFindValue: true, KindValue: true,
+	KindStore: true, KindStored: true,
+}
+
+// Wire bounds: a decoded envelope never carries more than these, no
+// matter what a hostile peer sends.
+const (
+	maxEnvelopeBytes = 256 << 10
+	maxPeers         = 64
+	maxRecords       = 64
+	maxGossipClaims  = 128
+	maxBodyBytes     = 64 << 10
+	maxNameBytes     = 256
+)
+
+// PeerInfo is a routing-table entry on the wire: identity, transport
+// address (the netsim node ID) and the public key the identity hashes
+// from.
+type PeerInfo struct {
+	ID   ID     `json:"id"`
+	Addr string `json:"addr"`
+	Key  []byte `json:"key,omitempty"`
+}
+
+// Peer converts wire info to the in-memory form.
+func (pi PeerInfo) Peer() Peer {
+	return Peer{ID: pi.ID, Addr: pi.Addr, Key: ed25519.PublicKey(pi.Key)}
+}
+
+// valid reports whether the entry is structurally sound: a non-empty
+// bounded address and, when a key travels along, one of the right size
+// that actually hashes to the claimed ID.
+func (pi PeerInfo) valid() bool {
+	if pi.Addr == "" || len(pi.Addr) > maxNameBytes || pi.ID.IsZero() {
+		return false
+	}
+	if len(pi.Key) == 0 {
+		return true
+	}
+	if len(pi.Key) != ed25519.PublicKeySize {
+		return false
+	}
+	return IDFromPublicKey(pi.Key) == pi.ID
+}
+
+// Envelope is the single overlay message shape. Kind selects which
+// fields are meaningful; Gossip rides on every message (anti-entropy
+// piggybacking, see gossip.go).
+type Envelope struct {
+	Kind string `json:"kind"`
+	// RPC correlates a response with its request.
+	RPC  uint64   `json:"rpc"`
+	From PeerInfo `json:"from"`
+	// Target is the looked-up ID for find-node/find-value.
+	Target ID `json:"target"`
+	// Record is the payload of a store request.
+	Record *Record `json:"record,omitempty"`
+	// Records answer a find-value: every record the responder holds
+	// under Target.
+	Records []*Record `json:"records,omitempty"`
+	// Peers answer find-node/find-value: the responder's closest
+	// contacts to Target.
+	Peers []PeerInfo `json:"peers,omitempty"`
+	// Gossip carries a bounded sample of reputation claims.
+	Gossip []RepClaim `json:"gossip,omitempty"`
+	// Err reports a rejected store ("stored" responses only).
+	Err string `json:"err,omitempty"`
+}
+
+// Encode serializes the envelope for a netsim message payload.
+func (e *Envelope) Encode() []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// The envelope is plain data; marshal cannot fail.
+		panic("overlay: marshal envelope: " + err.Error())
+	}
+	return b
+}
+
+// DecodeEnvelope parses and bounds-checks one wire message. Anything
+// malformed, oversized, of unknown kind, or carrying invalid peer
+// entries is rejected whole: a hostile peer gets silence, not partial
+// parsing.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	if len(data) > maxEnvelopeBytes {
+		return nil, fmt.Errorf("overlay: envelope %d bytes exceeds cap %d", len(data), maxEnvelopeBytes)
+	}
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("overlay: decode envelope: %w", err)
+	}
+	if !knownKinds[e.Kind] {
+		return nil, fmt.Errorf("overlay: unknown kind %q", e.Kind)
+	}
+	if !e.From.valid() {
+		return nil, fmt.Errorf("overlay: invalid sender info")
+	}
+	if len(e.Peers) > maxPeers {
+		return nil, fmt.Errorf("overlay: %d peers exceeds cap %d", len(e.Peers), maxPeers)
+	}
+	for _, p := range e.Peers {
+		if !p.valid() {
+			return nil, fmt.Errorf("overlay: invalid peer entry %q", p.Addr)
+		}
+	}
+	if len(e.Records) > maxRecords {
+		return nil, fmt.Errorf("overlay: %d records exceeds cap %d", len(e.Records), maxRecords)
+	}
+	for _, r := range e.Records {
+		if r == nil {
+			return nil, fmt.Errorf("overlay: nil record entry")
+		}
+		if err := r.wellFormed(); err != nil {
+			return nil, err
+		}
+	}
+	if e.Record != nil {
+		if err := e.Record.wellFormed(); err != nil {
+			return nil, err
+		}
+	}
+	if len(e.Gossip) > maxGossipClaims {
+		return nil, fmt.Errorf("overlay: %d gossip claims exceeds cap %d", len(e.Gossip), maxGossipClaims)
+	}
+	for _, c := range e.Gossip {
+		if !c.wellFormed() {
+			return nil, fmt.Errorf("overlay: invalid gossip claim for %q", c.Provider)
+		}
+	}
+	return &e, nil
+}

@@ -12,6 +12,7 @@ package pki
 
 import (
 	"crypto/ed25519"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,15 @@ import (
 	"strings"
 	"sync/atomic"
 )
+
+// Fingerprint is the canonical identity digest of an Ed25519 public
+// key: its SHA-256. The discovery overlay derives node IDs from it, and
+// anything that needs to name a key without shipping it (trust files,
+// reputation claims) uses the same digest so identities compare equal
+// across subsystems.
+func Fingerprint(pub ed25519.PublicKey) [sha256.Size]byte {
+	return sha256.Sum256(pub)
+}
 
 // Errors returned by Verify, comparable with errors.Is.
 var (

@@ -1,0 +1,39 @@
+package store
+
+import (
+	"testing"
+)
+
+// FuzzDecodeModule: manifests arrive from untrusted overlay replicas.
+// The decoder must never panic, must enforce its size bounds, and any
+// manifest it accepts must round-trip through Encode/Decode with a
+// stable content address — the property signature re-verification at
+// fetch time depends on.
+func FuzzDecodeModule(f *testing.F) {
+	good := &Module{
+		Name: "acme/tracker-radar", Version: "2.0", Publisher: "acme",
+		Type: "tracker-block", Config: map[string]string{"list": "ads.example"},
+	}
+	f.Add(good.Encode())
+	f.Add([]byte(`{"name":"x","publisher":"p"}`))
+	f.Add([]byte(`{"name":""}`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModule(data)
+		if err != nil {
+			return
+		}
+		if m.Name == "" || m.Publisher == "" {
+			t.Fatalf("accepted manifest without name/publisher: %+v", m)
+		}
+		addr := m.ContentAddress()
+		again, err := DecodeModule(m.Encode())
+		if err != nil {
+			t.Fatalf("accepted manifest failed re-decode: %v", err)
+		}
+		if again.ContentAddress() != addr {
+			t.Fatal("content address changed across Encode/Decode round trip")
+		}
+	})
+}

@@ -9,6 +9,8 @@ package store
 
 import (
 	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,8 +50,12 @@ type Module struct {
 	Signature []byte `json:"signature,omitempty"`
 }
 
-// signable returns the bytes the signature covers.
-func (m *Module) signable() []byte {
+// CanonicalBytes returns the module's canonical signable encoding: the
+// deterministic JSON of everything except the signature. It is both
+// what the publisher signs and what the distributed store hashes to
+// content-address the manifest, so "the bytes the signature covers"
+// and "the bytes the address commits to" cannot diverge.
+func (m *Module) CanonicalBytes() []byte {
 	clone := *m
 	clone.Signature = nil
 	b, err := json.Marshal(&clone)
@@ -57,6 +63,67 @@ func (m *Module) signable() []byte {
 		panic("store: marshal module: " + err.Error())
 	}
 	return b
+}
+
+// signable returns the bytes the signature covers.
+func (m *Module) signable() []byte { return m.CanonicalBytes() }
+
+// ContentAddress returns the module's content address: the hex SHA-256
+// of its canonical signable bytes. A manifest fetched from an
+// untrusted replica is accepted only if it hashes back to the address
+// the fetcher asked for.
+func (m *Module) ContentAddress() string {
+	sum := sha256.Sum256(m.CanonicalBytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// Encode serializes the full signed manifest for distribution.
+func (m *Module) Encode() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic("store: marshal module: " + err.Error())
+	}
+	return b
+}
+
+// Module manifest bounds enforced at decode: a hostile replica cannot
+// make a device hold an unbounded manifest.
+const (
+	maxModuleBytes    = 1 << 20
+	maxModuleName     = 256
+	maxConfigEntries  = 256
+	maxConfigValueLen = 64 << 10
+)
+
+// DecodeModule parses a manifest produced by Encode, validating shape
+// and bounds. It does NOT verify the signature — callers hold the
+// publisher key and decide trust (VerifySignature, Store.InstallRemote).
+func DecodeModule(data []byte) (*Module, error) {
+	if len(data) > maxModuleBytes {
+		return nil, fmt.Errorf("store: manifest %d bytes exceeds cap %d", len(data), maxModuleBytes)
+	}
+	var m Module
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: decode module: %w", err)
+	}
+	if m.Name == "" || len(m.Name) > maxModuleName {
+		return nil, errors.New("store: module name missing or oversized")
+	}
+	if m.Publisher == "" || len(m.Publisher) > maxModuleName {
+		return nil, errors.New("store: module publisher missing or oversized")
+	}
+	if len(m.Version) > maxModuleName || len(m.Type) > maxModuleName {
+		return nil, errors.New("store: module version/type oversized")
+	}
+	if len(m.Config) > maxConfigEntries {
+		return nil, fmt.Errorf("store: %d config entries exceeds cap %d", len(m.Config), maxConfigEntries)
+	}
+	for k, v := range m.Config {
+		if len(k) > maxModuleName || len(v) > maxConfigValueLen {
+			return nil, errors.New("store: config entry oversized")
+		}
+	}
+	return &m, nil
 }
 
 // Sign signs the module with the publisher's key.
@@ -183,6 +250,52 @@ func (s *Store) Entitled(user, name string) bool {
 		return true
 	}
 	return s.entitlements[user][name]
+}
+
+// Errors for remotely fetched manifests.
+var (
+	ErrAddressMismatch = errors.New("store: manifest does not hash to the requested content address")
+)
+
+// InstallRemote admits a manifest fetched from the discovery overlay
+// (or any untrusted replica) into this device's catalog and installs
+// it for the user. The full trust chain is enforced locally, exactly
+// as for a marketplace install: the publisher must be registered in
+// this store's trust set, the manifest must hash to the content
+// address the device asked the overlay for, the publisher signature
+// must verify over the canonical bytes, and the user must be entitled
+// (free, or previously purchased). The admitted module joins the local
+// catalog so later Install/Latest calls see it.
+func (s *Store) InstallRemote(user string, m *Module, wantAddress string) (*Module, error) {
+	if m == nil {
+		return nil, ErrNotFound
+	}
+	pub, ok := s.publishers[m.Publisher]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPublisher, m.Publisher)
+	}
+	if got := m.ContentAddress(); got != wantAddress {
+		return nil, fmt.Errorf("%w: got %.16s…, want %.16s…", ErrAddressMismatch, got, wantAddress)
+	}
+	if err := m.VerifySignature(pub); err != nil {
+		return nil, err
+	}
+	// Admit into the catalog (idempotently) before the entitlement
+	// check: Entitled consults the local record.
+	known := false
+	for _, v := range s.modules[m.Name] {
+		if v.Version == m.Version {
+			known = true
+			break
+		}
+	}
+	if !known {
+		s.modules[m.Name] = append(s.modules[m.Name], m)
+	}
+	if !s.Entitled(user, m.Name) {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNotEntitled, user, m.Name)
+	}
+	return m, nil
 }
 
 // Install fetches a module for a user, enforcing entitlement and
