@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short e16-determinism check bench experiments examples cover clean
+.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short e16-determinism bench-gate bench-baseline check bench experiments examples cover clean
 
 all: build vet test
 
@@ -66,9 +66,22 @@ fuzz-short:
 e16-determinism:
 	$(GO) test -race -run 'TestExperimentsDeterministic|TestE16OverlayShape' ./internal/experiments/
 
+# The dataplane performance gate: re-run the scaling sweep and diff it
+# against the committed BENCH_DATAPLANE.json. Allocs/op gates strictly
+# (machine-independent); ops/sec only flags collapses below 25% of the
+# baseline, so CI hardware variance passes but a new per-packet
+# allocation or lock does not.
+bench-gate:
+	$(GO) run ./cmd/pvnbench -gate BENCH_DATAPLANE.json -quick
+
+# Re-record the committed dataplane baseline (full-size sweep). Run on a
+# quiet machine and commit the resulting BENCH_DATAPLANE.json.
+bench-baseline:
+	$(GO) run ./cmd/pvnbench -dataplane -bench-json .
+
 # The pre-merge gate: build, lint, full tests, full race pass, the E16
-# determinism pair, short fuzz.
-check: build lint test race e16-determinism fuzz-short
+# determinism pair, short fuzz, and the dataplane perf gate.
+check: build lint test race e16-determinism fuzz-short bench-gate
 
 # One iteration of every benchmark (experiments E1-E12 + micro-benches).
 bench:

@@ -1,0 +1,195 @@
+package main
+
+// The dataplane scaling entry: a self-contained sweep of the serial
+// switch and the sharded pipeline over the canonical pvnc rule set,
+// reporting ops/sec, allocs/op and queue-latency percentiles per
+// configuration. Its JSON artifact (BENCH_DATAPLANE.json) is the
+// committed baseline `make bench-gate` diffs against, so fast-path
+// regressions (a new per-packet allocation, a serialization bottleneck)
+// fail CI instead of landing silently.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"pvn/internal/dataplane"
+	"pvn/internal/openflow"
+	"pvn/internal/packet"
+	"pvn/internal/pvnc"
+)
+
+// dataplaneRow is one configuration's measurement.
+type dataplaneRow struct {
+	Config    string  `json:"config"`
+	Packets   int64   `json:"packets"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	AllocsOp  float64 `json:"allocs_per_op"`
+	P50Us     float64 `json:"p50_us,omitempty"`
+	P99Us     float64 `json:"p99_us,omitempty"`
+}
+
+// dataplaneArtifact is the whole sweep: what BENCH_DATAPLANE.json holds.
+type dataplaneArtifact struct {
+	ID         string         `json:"id"`
+	Title      string         `json:"title"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Rows       []dataplaneRow `json:"rows"`
+}
+
+const dataplaneRules = `
+pvnc bench
+owner u
+device 10.0.0.5
+policy 100 match proto=tcp dport=443 action=forward
+policy 90 match proto=tcp dport=80 action=forward
+policy 80 match dst=203.0.113.0/24 action=forward
+policy 70 match proto=udp dport=53 action=forward
+policy 0 match any action=forward
+`
+
+func installDataplaneRules(t openflow.RuleTable) error {
+	cfg, err := pvnc.Parse(dataplaneRules)
+	if err != nil {
+		return err
+	}
+	compiled, err := pvnc.Compile(cfg, pvnc.CompileOptions{UpstreamPort: 1})
+	if err != nil {
+		return err
+	}
+	for i := range compiled.FlowMods {
+		compiled.FlowMods[i].Apply(t, 0)
+	}
+	return nil
+}
+
+func dataplaneFrames() ([][]byte, error) {
+	frames := make([][]byte, 128)
+	for i := range frames {
+		ip := &packet.IPv4{Src: packet.MustParseIPv4("10.0.0.5"), Dst: packet.MustParseIPv4("93.184.216.34"), Protocol: packet.IPProtoTCP}
+		tcp := &packet.TCP{SrcPort: uint16(40000 + i), DstPort: 443}
+		tcp.SetNetworkLayerForChecksum(ip)
+		data, err := packet.SerializeToBytes(ip, tcp, packet.Payload("GET /x HTTP/1.1\r\nHost: h\r\n\r\n"))
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = data
+	}
+	return frames, nil
+}
+
+// measure wraps one configuration run: warm-up, then a timed,
+// allocation-counted pass over n packets.
+func measure(config string, n int64, warm, run func(count int64)) dataplaneRow {
+	warm(min(n/10, 10_000))
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	run(n)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	row := dataplaneRow{
+		Config:   config,
+		Packets:  n,
+		NsPerOp:  float64(wall.Nanoseconds()) / float64(n),
+		AllocsOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+	}
+	if wall > 0 {
+		row.OpsPerSec = float64(n) / wall.Seconds()
+	}
+	return row
+}
+
+// runDataplaneBench executes the sweep. One op = one packet through the
+// full decode/lookup/action path.
+func runDataplaneBench(quick bool) (*dataplaneArtifact, error) {
+	frames, err := dataplaneFrames()
+	if err != nil {
+		return nil, err
+	}
+	n := int64(300_000)
+	if quick {
+		n = 60_000
+	}
+	art := &dataplaneArtifact{
+		ID:         "DATAPLANE",
+		Title:      "dataplane scaling: serial switch vs sharded pipeline",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Serial reference: one goroutine calling Switch.Process.
+	sw := openflow.NewSwitch("bench", nil)
+	if err := installDataplaneRules(sw.Table); err != nil {
+		return nil, err
+	}
+	serial := func(count int64) {
+		for i := int64(0); i < count; i++ {
+			if d := sw.Process(frames[i%int64(len(frames))], 0); d.Verdict != openflow.VerdictOutput {
+				panic("pvnbench: unexpected serial verdict")
+			}
+		}
+	}
+	art.Rows = append(art.Rows, measure("serial", n, serial, serial))
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		dp := dataplane.New(dataplane.Config{Shards: shards, Policy: dataplane.Block})
+		if err := installDataplaneRules(dp.Table()); err != nil {
+			return nil, err
+		}
+		dp.Start()
+		producers := min(runtime.GOMAXPROCS(0), shards)
+		pump := func(count int64) {
+			var wg sync.WaitGroup
+			for pr := 0; pr < producers; pr++ {
+				wg.Add(1)
+				go func(pr int) {
+					defer wg.Done()
+					for i := int64(pr); i < count; i += int64(producers) {
+						dp.Submit(frames[i%int64(len(frames))], 0)
+					}
+				}(pr)
+			}
+			wg.Wait()
+			dp.Drain()
+		}
+		row := measure(fmt.Sprintf("shards=%d", shards), n, pump, pump)
+		dist := dp.LatencyDist()
+		if dist.N() > 0 {
+			row.P50Us = dist.Percentile(50)
+			row.P99Us = dist.Percentile(99)
+		}
+		dp.Stop()
+		if st := dp.Stats().Total(); st.Dropped > 0 {
+			return nil, fmt.Errorf("pvnbench: %d drops under Block policy at shards=%d", st.Dropped, shards)
+		}
+		art.Rows = append(art.Rows, row)
+	}
+	return art, nil
+}
+
+// String renders the sweep as the usual pvnbench table.
+func (a *dataplaneArtifact) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (GOMAXPROCS=%d)\n", a.ID, a.Title, a.GoMaxProcs)
+	fmt.Fprintf(&b, "%-10s %12s %14s %12s %10s %10s\n", "config", "ns/op", "pkts/sec", "allocs/op", "p50 µs", "p99 µs")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-10s %12.1f %14.0f %12.3f %10.1f %10.1f\n",
+			r.Config, r.NsPerOp, r.OpsPerSec, r.AllocsOp, r.P50Us, r.P99Us)
+	}
+	return b.String()
+}
+
+// writeDataplaneJSON records the sweep under dir/BENCH_DATAPLANE.json.
+func writeDataplaneJSON(dir string, art *dataplaneArtifact) error {
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dir+"/BENCH_DATAPLANE.json", append(blob, '\n'), 0o644)
+}

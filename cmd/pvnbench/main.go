@@ -210,8 +210,33 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
 	benchJSON := flag.String("bench-json", "", "directory to write BENCH_<exp>.json artifacts into")
+	dataplaneFlag := flag.Bool("dataplane", false, "run the dataplane scaling sweep instead of the experiments")
+	gateFlag := flag.String("gate", "", "run the dataplane sweep and fail on regression vs this BENCH_DATAPLANE.json baseline")
 	flag.BoolVar(&wallclock, "wallclock", false, "measure E1/E11 throughput with the real clock (tables become machine-dependent)")
 	flag.Parse()
+
+	if *gateFlag != "" {
+		if err := runGate(*gateFlag, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "pvnbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dataplaneFlag {
+		art, err := runDataplaneBench(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvnbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(art.String())
+		if *benchJSON != "" {
+			if err := writeDataplaneJSON(*benchJSON, art); err != nil {
+				fmt.Fprintf(os.Stderr, "pvnbench: bench-json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range all {

@@ -93,11 +93,15 @@ type Config struct {
 
 // shard is one queue + worker + privately-owned flow state.
 type shard struct {
-	id       int
-	queue    *ring
-	cache    *flowCache
-	chains   openflow.ChainExecutor
-	counters shardCounters
+	id     int
+	queue  *ring
+	cache  *flowCache
+	chains openflow.ChainExecutor
+	// batchChains is chains' batched fast path, resolved once at New so
+	// the worker never pays a per-batch type assertion; nil when chains
+	// doesn't implement openflow.BatchProcessor.
+	batchChains openflow.BatchProcessor
+	counters    shardCounters
 }
 
 // Pipeline is the running dataplane: N shards fed by Submit, draining
@@ -116,8 +120,14 @@ type Pipeline struct {
 	sinceExpire  atomic.Int64
 	expireEveryN int64
 
-	wg      sync.WaitGroup
+	wg sync.WaitGroup
+	// lifeMu guards started/stopped: Start and Stop are idempotent and
+	// safe to call concurrently (a Stop racing a Start either runs after
+	// the workers launch and shuts them down, or marks the pipeline
+	// stopped so the Start becomes a no-op).
+	lifeMu  sync.Mutex
 	started bool
+	stopped bool
 }
 
 // New builds a pipeline over its own ShardedTable. Install rules through
@@ -149,6 +159,7 @@ func New(cfg Config) *Pipeline {
 		} else {
 			sh.chains = cfg.Chains
 		}
+		sh.batchChains, _ = sh.chains.(openflow.BatchProcessor)
 		p.shards = append(p.shards, sh)
 	}
 	return p
@@ -168,9 +179,14 @@ func (p *Pipeline) AddMeter(id string, m *openflow.Meter) {
 // Shards reports the configured shard count.
 func (p *Pipeline) Shards() int { return len(p.shards) }
 
-// Start launches one worker per shard.
+// Start launches one worker per shard. It is idempotent and safe to
+// call concurrently with Stop; once the pipeline has been stopped,
+// Start is a no-op (the queues are closed — the pipeline cannot be
+// restarted).
 func (p *Pipeline) Start() {
-	if p.started {
+	p.lifeMu.Lock()
+	defer p.lifeMu.Unlock()
+	if p.started || p.stopped {
 		return
 	}
 	p.started = true
@@ -181,8 +197,17 @@ func (p *Pipeline) Start() {
 }
 
 // Stop closes the queues, lets workers drain what is already enqueued,
-// and waits for them to exit. The pipeline cannot be restarted.
+// and waits for them to exit. Idempotent: further Stops return
+// immediately, and a Start racing the first Stop either wins (its
+// workers are then drained and joined here) or observes stopped and
+// does nothing.
 func (p *Pipeline) Stop() {
+	p.lifeMu.Lock()
+	defer p.lifeMu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.stopped = true
 	for _, sh := range p.shards {
 		sh.queue.close()
 	}
@@ -202,14 +227,23 @@ func (p *Pipeline) Drain() {
 // Submit hands one raw IPv4 packet to the pipeline. The caller keeps
 // ownership of data: it is copied into a pooled buffer. It reports
 // whether the packet was admitted (false = backpressure drop).
+//
+// Counting: Enqueued is incremented for every Submit, admitted or not,
+// and every never-processed packet (rejection or eviction) increments
+// Dropped — see the ShardStats invariant.
 func (p *Pipeline) Submit(data []byte, inPort uint16) bool {
 	key, ok := flowKeyOf(data, inPort)
 	sh := p.shards[int(key.flow.FastHash()%uint64(len(p.shards)))]
+	seq := sh.counters.enqueued.Add(1)
 
-	bp := p.bufPool.Get().(*[]byte)
-	buf := append((*bp)[:0], data...)
-	it := item{buf: buf, data: buf, inPort: inPort, key: key, ok: ok,
-		enq: time.Now().UnixNano()} //lint:allow nondet perf-counter stamp: queue-latency sampling, never feeds simulated time
+	bp := p.getBuf(len(data))
+	*bp = append((*bp)[:0], data...)
+	it := item{buf: bp, data: *bp, inPort: inPort, key: key, ok: ok}
+	if seq%latencySampleEvery == 0 {
+		// Stamp only the sampled packets, so the submit fast path pays
+		// no clock read for the other latencySampleEvery-1.
+		it.enq = time.Now().UnixNano() //lint:allow nondet perf-counter stamp: queue-latency sampling, never feeds simulated time
+	}
 
 	p.inFlight.Add(1)
 	admitted, evicted, hasEvicted := sh.queue.push(it)
@@ -219,19 +253,35 @@ func (p *Pipeline) Submit(data []byte, inPort uint16) bool {
 		sh.counters.dropped.Add(1)
 	}
 	if !admitted {
-		p.release(buf)
+		p.release(bp)
 		p.inFlight.Add(-1)
 		sh.counters.dropped.Add(1)
 		return false
 	}
-	sh.counters.enqueued.Add(1)
 	return true
 }
 
-func (p *Pipeline) release(buf []byte) {
-	if cap(buf) <= 64<<10 {
-		b := buf[:0]
-		p.bufPool.Put(&b)
+// getBuf returns a pooled buffer (len 0) with capacity for n bytes. An
+// undersized buffer is grown through the pooled pointer, so the pointer
+// object stays in circulation and carries the right-sized array back to
+// the pool on release. (Letting append grow the slice instead — the old
+// Submit — stranded the pooled buffer and paid a fresh allocation for
+// every oversized packet forever after.)
+func (p *Pipeline) getBuf(n int) *[]byte {
+	bp := p.bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, max(n, 2048))
+	}
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// release recycles a packet buffer. The pointer is the one getBuf handed
+// out, so the pool round-trip allocates nothing; oversized one-off
+// buffers (> 64 KiB) are let go to keep the pool's resident set small.
+func (p *Pipeline) release(bp *[]byte) {
+	if bp != nil && cap(*bp) <= 64<<10 {
+		p.bufPool.Put(bp)
 	}
 }
 
@@ -261,9 +311,12 @@ func flowKeyOf(data []byte, inPort uint16) (cacheKey, bool) {
 
 // maybeExpire runs table expiry roughly every expireEveryN processed
 // packets, pipeline-wide, so timeouts fire without a dedicated timer
-// goroutine (mirroring the serial switch's expire-per-packet, amortized).
-func (p *Pipeline) maybeExpire() {
-	if p.sinceExpire.Add(1)%p.expireEveryN != 0 {
+// goroutine (mirroring the serial switch's expire-per-packet,
+// amortized). Workers call it once per batch with the batch size; the
+// pass fires when the running count crosses an expireEveryN boundary.
+func (p *Pipeline) maybeExpire(n int64) {
+	s := p.sinceExpire.Add(n)
+	if s/p.expireEveryN == (s-n)/p.expireEveryN {
 		return
 	}
 	for _, fe := range p.table.Expire(p.cfg.Now()) {

@@ -13,8 +13,11 @@ import (
 // shardCounters is the hot-path metrics block for one shard. Producers
 // touch the enqueue side; exactly one worker touches the rest, but
 // everything is atomic so Stats can be read at any time (and so the
-// race detector stays happy). The pad keeps adjacent shards' counters
-// off the same cache line.
+// race detector stays happy). The worker does NOT add to these per
+// packet: it accumulates a batch in plain localCounters and flushes
+// once per batch (see worker.go), so the atomic cost is amortized by
+// the batch size. The pad keeps adjacent shards' counters off the same
+// cache line.
 type shardCounters struct {
 	enqueued  atomic.Int64
 	dropped   atomic.Int64 // queue overflow drops
@@ -30,16 +33,24 @@ type shardCounters struct {
 	packetIns atomic.Int64
 	chainErrs atomic.Int64 // middlebox chain failures (box error/panic, broken fail-closed)
 
-	// Cumulative per-stage wall-clock nanoseconds.
+	// Cumulative per-stage wall-clock nanoseconds. totalNs covers every
+	// batch; the per-stage split (decode/lookup/chain) is measured on
+	// every stageSampleEvery'th batch only, so the steady state pays two
+	// clock reads per batch. Compare stage counters to each other for
+	// shares; scale by stageSampleEvery to estimate absolute time.
 	decodeNs atomic.Int64
 	lookupNs atomic.Int64
 	chainNs  atomic.Int64
 	totalNs  atomic.Int64
 
-	// Per-packet latency reservoir, sampled every latencySampleEvery
-	// packets, bounded to latencyReservoir entries.
+	// Per-packet latency overwrite ring, fed by samples taken every
+	// latencySampleEvery packets. Once full, new samples overwrite the
+	// oldest slot (latNext mod size), so the distribution always
+	// reflects the most recent window of traffic — a bounded buffer
+	// that never goes stale, not a fill-once reservoir.
 	latMu      sync.Mutex
 	latSamples []float64
+	latNext    uint64 // total samples ever; write index = latNext % cap
 
 	_ [40]byte // pad to its own cache line region
 }
@@ -47,17 +58,91 @@ type shardCounters struct {
 const (
 	latencySampleEvery = 64
 	latencyReservoir   = 4096
+	// stageSampleEvery is how often a batch carries full per-stage
+	// timestamps instead of just start/end.
+	stageSampleEvery = 16
 )
 
+// sampleLatency records one end-to-end latency sample (µs granularity
+// float, like netsim.Dist). Overwrite semantics: slot latNext%cap, so
+// late samples always land and LatencyDist tracks the newest
+// latencyReservoir samples rather than the first ones ever taken.
 func (c *shardCounters) sampleLatency(d time.Duration) {
 	c.latMu.Lock()
-	if len(c.latSamples) < latencyReservoir {
-		c.latSamples = append(c.latSamples, float64(d)/float64(time.Microsecond))
+	if cap(c.latSamples) < latencyReservoir {
+		// One-time arena; after this the ring never allocates.
+		c.latSamples = make([]float64, 0, latencyReservoir)
 	}
+	v := float64(d) / float64(time.Microsecond)
+	if len(c.latSamples) < latencyReservoir {
+		c.latSamples = append(c.latSamples, v)
+	} else {
+		c.latSamples[c.latNext%latencyReservoir] = v
+	}
+	c.latNext++
 	c.latMu.Unlock()
 }
 
+// localCounters is one batch's worth of hot-path counters in plain
+// locals. The worker accumulates into these during a batch and calls
+// flush exactly once at batch end — turning dozens of per-packet atomic
+// RMWs into a handful per batch.
+type localCounters struct {
+	processed, bytes, cacheHits          int64
+	outputs, drops, tunnels, packetIns   int64
+	chainErrs                            int64
+	decodeNs, lookupNs, chainNs, totalNs int64
+}
+
+// flush pushes the accumulated batch counters into the shard atomics.
+// Zero fields still pay an atomic add only when nonzero.
+func (l *localCounters) flush(c *shardCounters) {
+	c.processed.Add(l.processed)
+	c.bytes.Add(l.bytes)
+	if l.cacheHits != 0 {
+		c.cacheHits.Add(l.cacheHits)
+	}
+	if l.outputs != 0 {
+		c.outputs.Add(l.outputs)
+	}
+	if l.drops != 0 {
+		c.drops.Add(l.drops)
+	}
+	if l.tunnels != 0 {
+		c.tunnels.Add(l.tunnels)
+	}
+	if l.packetIns != 0 {
+		c.packetIns.Add(l.packetIns)
+	}
+	if l.chainErrs != 0 {
+		c.chainErrs.Add(l.chainErrs)
+	}
+	if l.decodeNs != 0 {
+		c.decodeNs.Add(l.decodeNs)
+	}
+	if l.lookupNs != 0 {
+		c.lookupNs.Add(l.lookupNs)
+	}
+	if l.chainNs != 0 {
+		c.chainNs.Add(l.chainNs)
+	}
+	c.totalNs.Add(l.totalNs)
+}
+
 // ShardStats is a point-in-time copy of one shard's counters.
+//
+// Accounting invariant (both drop policies, and Block): Enqueued counts
+// every packet Submit dispatched at this shard — admitted or not — and
+// Dropped counts every dispatched packet that will never be processed
+// (tail-drop rejections, DropOldest evictions, submits after close).
+// At quiescence therefore:
+//
+//	Enqueued == Processed + Dropped + QueueDepth
+//
+// A DropOldest eviction contributes one packet to Enqueued (the victim,
+// counted when it was submitted) and one to Dropped (the same victim,
+// counted at eviction); the packet that displaced it is counted in
+// Enqueued like any admit. Tests pin this per policy.
 type ShardStats struct {
 	Enqueued, Dropped, Processed, Batches int64
 	Bytes                                 int64
@@ -163,8 +248,10 @@ func (p *Pipeline) Stats() Stats {
 }
 
 // LatencyDist merges the sampled per-packet pipeline latencies (queue
-// wait + processing, in microseconds) of all shards into a
-// netsim.Dist, the summary type every experiment reports with.
+// wait + processing, in microseconds) of all shards into a netsim.Dist,
+// the summary type every experiment reports with. Each shard
+// contributes its newest latencyReservoir samples (overwrite ring), so
+// long-run latency shifts are visible here, not just startup traffic.
 func (p *Pipeline) LatencyDist() *netsim.Dist {
 	var d netsim.Dist
 	for _, sh := range p.shards {

@@ -19,15 +19,16 @@ const (
 	Block
 )
 
-// item is one queued packet. buf is the pooled backing array; data is
-// the live packet region within it.
+// item is one queued packet. buf is the pooled backing array (carried
+// as the same *[]byte the pool hands out, so recycling never allocates
+// a fresh slice header); data is the live packet region within it.
 type item struct {
-	buf    []byte
+	buf    *[]byte
 	data   []byte
 	inPort uint16
 	key    cacheKey
 	ok     bool  // key extraction succeeded
-	enq    int64 // wall-clock ns at enqueue, for queue-wait latency
+	enq    int64 // wall-clock ns at enqueue; 0 = not latency-sampled
 }
 
 // ring is a bounded FIFO of packets feeding one shard's worker. A single

@@ -1,0 +1,161 @@
+package dataplane
+
+// Concurrency hammers for the shard ring — the one synchronization
+// point between producers and a worker. Run under -race; the Block
+// cases specifically exercise producers parked in notFull.Wait racing a
+// close, the shutdown interleaving a live pipeline hits every time a
+// benchmark or pvnd instance stops under load.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testItem(seq int) item {
+	b := []byte{byte(seq), byte(seq >> 8)}
+	return item{buf: &b, data: b}
+}
+
+// TestRingBlockCloseRace parks producers in the Block policy's
+// notFull.Wait and races close() against them: every blocked push must
+// return (admitted before the close won, or rejected after), no
+// goroutine may stay parked, and the drain must account for every
+// admitted item exactly once.
+func TestRingBlockCloseRace(t *testing.T) {
+	const producers = 8
+	const perProducer = 500
+	for round := 0; round < 10; round++ {
+		r := newRing(4, Block)
+		var admitted, rejected atomic.Int64
+		var wg sync.WaitGroup
+		for pr := 0; pr < producers; pr++ {
+			wg.Add(1)
+			go func(pr int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					ok, _, _ := r.push(testItem(pr*perProducer + i))
+					if ok {
+						admitted.Add(1)
+					} else {
+						rejected.Add(1)
+					}
+				}
+			}(pr)
+		}
+
+		var popped atomic.Int64
+		var cwg sync.WaitGroup
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			batch := make([]item, 3)
+			for {
+				n := r.popBatch(batch)
+				if n == 0 {
+					return
+				}
+				popped.Add(int64(n))
+			}
+		}()
+
+		// Close mid-stream: with a depth-4 ring and 8 producers, some
+		// are parked in notFull.Wait right now.
+		for popped.Load() < 64 {
+		}
+		r.close()
+		wg.Wait()  // no producer may remain parked after close
+		cwg.Wait() // consumer drains the residue and sees the close
+
+		if got := admitted.Load() + rejected.Load(); got != producers*perProducer {
+			t.Fatalf("round %d: %d pushes accounted, want %d", round, got, producers*perProducer)
+		}
+		if admitted.Load() != popped.Load() {
+			t.Fatalf("round %d: admitted %d but popped %d — items lost or duplicated across close",
+				round, admitted.Load(), popped.Load())
+		}
+	}
+}
+
+// TestRingHammerDropPolicies runs the same producer/consumer storm over
+// the two drop policies, checking conservation: every push is admitted
+// or rejected, every admitted item is popped or evicted or still queued
+// at the end.
+func TestRingHammerDropPolicies(t *testing.T) {
+	for _, policy := range []DropPolicy{DropNewest, DropOldest} {
+		r := newRing(8, policy)
+		var admitted, rejected, evicted, popped int64
+		var mu sync.Mutex // guards the tallies updated by producers
+		var wg sync.WaitGroup
+		for pr := 0; pr < 4; pr++ {
+			wg.Add(1)
+			go func(pr int) {
+				defer wg.Done()
+				for i := 0; i < 2000; i++ {
+					ok, _, hasEvicted := r.push(testItem(pr*2000 + i))
+					mu.Lock()
+					if ok {
+						admitted++
+					} else {
+						rejected++
+					}
+					if hasEvicted {
+						evicted++
+					}
+					mu.Unlock()
+				}
+			}(pr)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			batch := make([]item, 5)
+			for {
+				n := r.popBatch(batch)
+				if n == 0 {
+					return
+				}
+				mu.Lock()
+				popped += int64(n)
+				mu.Unlock()
+			}
+		}()
+		wg.Wait()
+		r.close()
+		<-done
+
+		if admitted != popped+evicted {
+			t.Fatalf("policy %d: admitted %d != popped %d + evicted %d",
+				policy, admitted, popped, evicted)
+		}
+		if policy == DropNewest && evicted != 0 {
+			t.Fatalf("DropNewest evicted %d items", evicted)
+		}
+		if policy == DropOldest && rejected != 0 {
+			t.Fatalf("DropOldest rejected %d pushes on an open ring", rejected)
+		}
+	}
+}
+
+// TestRingDropOldestEviction pins the eviction contract a recycling
+// caller depends on: the victim is the current head, it is handed back
+// exactly once, and FIFO order among survivors is preserved.
+func TestRingDropOldestEviction(t *testing.T) {
+	r := newRing(2, DropOldest)
+	for seq := 0; seq < 2; seq++ {
+		if ok, _, hasEvicted := r.push(testItem(seq)); !ok || hasEvicted {
+			t.Fatalf("push %d: ok=%v evicted=%v", seq, ok, hasEvicted)
+		}
+	}
+	ok, victim, hasEvicted := r.push(testItem(2))
+	if !ok || !hasEvicted {
+		t.Fatalf("full-ring push: ok=%v evicted=%v, want admit+evict", ok, hasEvicted)
+	}
+	if victim.data[0] != 0 {
+		t.Fatalf("evicted item %d, want the oldest (0)", victim.data[0])
+	}
+	batch := make([]item, 4)
+	if n := r.popBatch(batch); n != 2 || batch[0].data[0] != 1 || batch[1].data[0] != 2 {
+		t.Fatalf("drained %d items, want survivors 1,2 in order", n)
+	}
+}

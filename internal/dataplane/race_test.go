@@ -177,7 +177,10 @@ func TestPipelineRace(t *testing.T) {
 	p.Stop()
 
 	st := p.Stats().Total()
-	if st.Processed+st.Dropped != st.Enqueued+st.Dropped || st.Processed <= 0 {
+	// The ShardStats invariant at quiescence (QueueDepth is 0 after a
+	// full Drain+Stop): every dispatched packet was either processed or
+	// counted dropped.
+	if st.Enqueued != st.Processed+st.Dropped || st.Processed <= 0 || st.QueueDepth != 0 {
 		t.Fatalf("incoherent stats %+v", st)
 	}
 }

@@ -207,28 +207,53 @@ func newFlowCache() *flowCache { return &flowCache{m: make(map[cacheKey]*entry)}
 // cacheable is false for packets whose 5-tuple could not be extracted
 // (they still match, just uncached). It reports whether the cache was
 // hit, for per-shard metrics.
+//
+// Hot paths that can defer field extraction should call LookupCached
+// first and only pay for a header decode on a miss (see the worker
+// loop); Lookup composes the two for callers that already hold fields.
 func (t *ShardedTable) Lookup(c *flowCache, key cacheKey, cacheable bool, fields openflow.PacketFields, size int, now time.Duration) (actions []openflow.Action, hit bool) {
+	if actions, hit = t.LookupCached(c, key, cacheable, size, now); hit {
+		return actions, true
+	}
+	return t.LookupScan(c, key, cacheable, fields, size, now), false
+}
+
+// LookupCached answers from the shard's exact-match cache alone — the
+// steady-state fast path, which needs only the 5-tuple key extracted at
+// Submit and no packet decode at all. A false return means the caller
+// must extract match fields and call LookupScan.
+func (t *ShardedTable) LookupCached(c *flowCache, key cacheKey, cacheable bool, size int, now time.Duration) ([]openflow.Action, bool) {
 	snap := t.snap.Load()
 	if c.gen != snap.gen {
 		c.gen = snap.gen
 		clear(c.m)
 	}
-	if cacheable {
-		if e, ok := c.m[key]; ok {
-			e.count(size, now)
-			return e.Actions, true
-		}
+	if !cacheable {
+		return nil, false
 	}
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	e.count(size, now)
+	return e.Actions, true
+}
+
+// LookupScan walks the rule snapshot in match order and memoizes the
+// winning entry in the shard cache. Callers must have tried LookupCached
+// first (it also syncs the cache generation).
+func (t *ShardedTable) LookupScan(c *flowCache, key cacheKey, cacheable bool, fields openflow.PacketFields, size int, now time.Duration) []openflow.Action {
+	snap := t.snap.Load()
 	for _, e := range snap.entries {
 		if e.Match.Matches(fields) {
 			e.count(size, now)
 			if cacheable {
 				c.m[key] = e
 			}
-			return e.Actions, false
+			return e.Actions
 		}
 	}
-	return snap.miss, false
+	return snap.miss
 }
 
 func (e *entry) count(size int, now time.Duration) {

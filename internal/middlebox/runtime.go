@@ -460,6 +460,25 @@ func (r *Runtime) ExecuteChain(chain string, data []byte) ([]byte, time.Duration
 	return r.run(c, data)
 }
 
+// ExecuteChainBatch implements openflow.BatchProcessor: one chain
+// resolution for the whole batch, then the scalar path per packet, so
+// batch semantics are the scalar semantics by construction (supervision,
+// breakers and fail policies all run per packet). Like the Runtime
+// itself it is not goroutine-safe; Synchronized adds the lock.
+func (r *Runtime) ExecuteChainBatch(chain string, pkts [][]byte, outs [][]byte, delays []time.Duration, errs []error) {
+	c, ok := r.chains[chain]
+	if !ok {
+		err := fmt.Errorf("%w: %q", ErrUnknownChain, chain)
+		for i := range pkts {
+			outs[i], delays[i], errs[i] = nil, 0, err
+		}
+		return
+	}
+	for i := range pkts {
+		outs[i], delays[i], errs[i] = r.run(c, pkts[i])
+	}
+}
+
 func (r *Runtime) run(c *Chain, data []byte) ([]byte, time.Duration, error) {
 	now := r.Now()
 	var delay time.Duration

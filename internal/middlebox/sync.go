@@ -35,6 +35,17 @@ func (s *SyncExecutor) ExecuteChain(chain string, data []byte) ([]byte, time.Dur
 	return s.rt.ExecuteChain(chain, data)
 }
 
+// ExecuteChainBatch implements openflow.BatchProcessor: one lock
+// acquisition per batch instead of one per packet, which is the whole
+// reason a batched dataplane wants this path — under N workers the
+// mutex is the serial section, and batching divides its acquisition
+// count by the batch size.
+func (s *SyncExecutor) ExecuteChainBatch(chain string, pkts [][]byte, outs [][]byte, delays []time.Duration, errs []error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rt.ExecuteChainBatch(chain, pkts, outs, delays, errs)
+}
+
 // SupervisorStats exposes the wrapped runtime's supervision counters to
 // metrics pollers (e.g. dataplane.Pipeline.Stats). The counters are
 // atomic, so this does not contend with chain execution.

@@ -56,6 +56,22 @@ type ChainExecutor interface {
 	ExecuteChain(chain string, data []byte) (out []byte, delay time.Duration, err error)
 }
 
+// BatchProcessor is the optional batched fast path of a ChainExecutor:
+// a dataplane that has already grouped packets bound for the same chain
+// hands the whole group to one call, letting the executor amortize
+// per-invocation overhead (lock acquisition, chain resolution, clock
+// reads) across the batch.
+//
+// The contract is strict: filling outs[i]/delays[i]/errs[i] must be
+// observably identical to calling ExecuteChain(chain, pkts[i]) for each
+// i in order — outs[i] == nil with errs[i] == nil means the chain
+// dropped packet i, exactly like the scalar path. The three result
+// slices are caller-allocated with len(pkts) (so a pooled dataplane
+// allocates nothing per batch); implementations must fill every index.
+type BatchProcessor interface {
+	ExecuteChainBatch(chain string, pkts [][]byte, outs [][]byte, delays []time.Duration, errs []error)
+}
+
 // PacketInHandler receives table-miss/controller punts.
 type PacketInHandler interface {
 	PacketIn(sw *Switch, inPort uint16, data []byte)

@@ -1,0 +1,83 @@
+package packet
+
+// Decoder is a reusable header decoder for per-packet hot paths. Where
+// Decode allocates a fresh Packet and one struct per layer on every
+// call, a Decoder owns one instance of each header layer and re-parses
+// into them, so steady-state decoding performs zero heap allocations
+// (ClickOS-class per-packet budgets, paper §3.3, leave no room for a
+// malloc per header).
+//
+// The trade-off is aliasing: the *Packet returned by DecodeHeaders and
+// every layer it exposes are views into the Decoder, valid only until
+// the next DecodeHeaders call. Callers that need the decoded form to
+// outlive the next packet must use Decode instead.
+//
+// A Decoder is not goroutine-safe; give each worker goroutine its own
+// (they are small — one struct per header type).
+type Decoder struct {
+	pkt Packet
+	eth Ethernet
+	ip  IPv4
+	tcp TCP
+	udp UDP
+	// layers is the backing array for pkt.layers: link + network +
+	// transport is the deepest stack DecodeHeaders builds.
+	layers [3]Layer
+}
+
+// DecodeHeaders parses the link/network/transport headers of data into
+// the decoder's reusable layer structs and returns a packet view over
+// them. Unlike Decode it never descends into application layers
+// (DNS/TLS/HTTP/Payload): decoding stops after TCP/UDP, whose
+// LayerPayload still exposes the application bytes. Decode semantics
+// are otherwise preserved — a parse error is recorded in ErrLayer and
+// the outer layers stay usable.
+func (d *Decoder) DecodeHeaders(data []byte, first LayerType) *Packet {
+	d.pkt = Packet{data: data, layers: d.layers[:0]}
+	cur := data
+	next := first
+	sawIP := false
+	for len(cur) > 0 {
+		var dl DecodingLayer
+		switch next {
+		case LayerTypeEthernet:
+			dl = &d.eth
+		case LayerTypeIPv4:
+			dl = &d.ip
+		case LayerTypeTCP:
+			dl = &d.tcp
+		case LayerTypeUDP:
+			dl = &d.udp
+		default:
+			// Application layer (or unknown): headers are done.
+			return &d.pkt
+		}
+		if err := dl.DecodeFromBytes(cur); err != nil {
+			d.pkt.errLayer = err
+			return &d.pkt
+		}
+		d.pkt.layers = append(d.pkt.layers, dl.(Layer))
+		// Bind checksums like Decode, so VerifyChecksum works on the
+		// reused structs too — but only under an IPv4 header decoded in
+		// THIS call, never a stale one from the previous packet.
+		switch l := dl.(type) {
+		case *IPv4:
+			sawIP = true
+		case *TCP:
+			if sawIP {
+				l.SetNetworkLayerForChecksum(&d.ip)
+			} else {
+				l.SetNetworkLayerForChecksum(nil)
+			}
+		case *UDP:
+			if sawIP {
+				l.SetNetworkLayerForChecksum(&d.ip)
+			} else {
+				l.SetNetworkLayerForChecksum(nil)
+			}
+		}
+		next = dl.NextLayerType()
+		cur = dl.LayerPayload()
+	}
+	return &d.pkt
+}
