@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short e16-determinism bench-gate bench-baseline check bench experiments examples cover clean
+.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short e16-determinism soak-short soak bench-gate bench-baseline check bench experiments examples cover clean
 
 all: build vet test
 
@@ -66,6 +66,20 @@ fuzz-short:
 e16-determinism:
 	$(GO) test -race -run 'TestExperimentsDeterministic|TestE16OverlayShape' ./internal/experiments/
 
+# The adversarial soak gate: a composed random failure storm (roam
+# storms, flaps, lease churn, provider crashes, adversarial campaigns)
+# on the scenario engine, strict-checked against every global invariant
+# under the race detector. Any failure prints a pvnbench -soak -seed=N
+# line that replays it bit-for-bit.
+soak-short:
+	$(GO) test -race -run 'TestSoakShort|TestSoakDeterminism|TestBrokenInvariantDetected' ./internal/scenario/
+
+# The long soak: >= 1,000,000 simulated seconds of storm composition,
+# plus the reclamation-vs-roam race. Minutes-scale; not part of check.
+soak:
+	$(GO) test -race -run 'TestSoakMillionSimSeconds' ./internal/scenario/
+	$(GO) test -race -run 'TestReclaimOrphansRacesBeginRoam' ./internal/core/
+
 # The dataplane performance gate: re-run the scaling sweep and diff it
 # against the committed BENCH_DATAPLANE.json. Allocs/op gates strictly
 # (machine-independent); ops/sec only flags collapses below 25% of the
@@ -80,8 +94,9 @@ bench-baseline:
 	$(GO) run ./cmd/pvnbench -dataplane -bench-json .
 
 # The pre-merge gate: build, lint, full tests, full race pass, the E16
-# determinism pair, short fuzz, and the dataplane perf gate.
-check: build lint test race e16-determinism fuzz-short bench-gate
+# determinism pair, the short adversarial soak, short fuzz, and the
+# dataplane perf gate.
+check: build lint test race e16-determinism soak-short fuzz-short bench-gate
 
 # One iteration of every benchmark (experiments E1-E12 + micro-benches).
 bench:

@@ -149,6 +149,14 @@ var all = []experiment{
 		}
 		return experiments.E16(p)
 	}},
+	{"E19", "composed failure storms under global invariants", func(q bool) *experiments.Result {
+		p := experiments.DefaultE19
+		if q {
+			p.StormDevices = 10
+			p.SoakSimTime = 20_000 * time.Second
+		}
+		return experiments.E19(p)
+	}},
 }
 
 // wallclock is pvnbench's explicit measurement mode: real elapsed-time
@@ -212,9 +220,19 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "directory to write BENCH_<exp>.json artifacts into")
 	dataplaneFlag := flag.Bool("dataplane", false, "run the dataplane scaling sweep instead of the experiments")
 	gateFlag := flag.String("gate", "", "run the dataplane sweep and fail on regression vs this BENCH_DATAPLANE.json baseline")
+	soakFlag := flag.Bool("soak", false, "run the scenario-engine random soak instead of the experiments")
+	seedFlag := flag.Uint64("seed", 1, "soak: RNG seed (a violation report's reproduction line sets this)")
+	simHours := flag.Float64("sim-hours", 1.0, "soak: simulated hours of composed storms")
 	flag.BoolVar(&wallclock, "wallclock", false, "measure E1/E11 throughput with the real clock (tables become machine-dependent)")
 	flag.Parse()
 
+	if *soakFlag {
+		if err := runSoak(*seedFlag, *simHours); err != nil {
+			fmt.Fprintf(os.Stderr, "pvnbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *gateFlag != "" {
 		if err := runGate(*gateFlag, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "pvnbench: %v\n", err)

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pvn/internal/scenario"
+)
+
+// runSoak executes the scenario engine's weighted random storm
+// composition for simHours simulated hours and prints its report. This
+// is the reproduction entry point: a soak failure anywhere (CI, the
+// acceptance test, a long local run) prints
+// `pvnbench -soak -seed=N -sim-hours=H`, and running exactly that
+// replays the identical storm sequence bit-for-bit.
+func runSoak(seed uint64, simHours float64) error {
+	e := scenario.New(scenario.DefaultConfig(seed))
+	e.Soak(time.Duration(simHours * float64(time.Hour)))
+	fmt.Print(e.Report())
+	if n := len(e.Violations()); n != 0 {
+		return fmt.Errorf("soak: %d invariant violations (seed=%d)", n, seed)
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 
 	"pvn/internal/auditor"
 	"pvn/internal/billing"
+	"pvn/internal/deployserver"
 	"pvn/internal/openflow"
 	"pvn/internal/packet"
 )
@@ -45,73 +46,25 @@ func (o RoamOptions) drainDeadline() time.Duration {
 	return o.DrainDeadline
 }
 
-// boxState is one exported middlebox snapshot, keyed by spec type so it
-// can be matched to the corresponding instance on the new network.
-type boxState struct {
-	typ  string
-	data []byte
-}
-
 // exportBoxState snapshots every stateful middlebox in the session's
-// deployment, in deployment order.
-func exportBoxState(s *Session) []boxState {
+// deployment. The deployserver does the walking under its own lock —
+// a roam may race a lease sweep or crash-reclaim tearing instances
+// down, and the middlebox runtime itself is not goroutine-safe.
+func exportBoxState(s *Session) []deployserver.BoxState {
 	if s.Mode != ModeInNetwork {
 		return nil
 	}
-	dep := s.Network.Server.Deployment(s.Device.ID)
-	if dep == nil {
-		return nil
-	}
-	var out []boxState
-	for _, id := range dep.InstanceIDs {
-		inst := s.Network.Server.Runtime.Instance(id)
-		if inst == nil {
-			continue
-		}
-		data, ok, err := s.Network.Server.Runtime.ExportState(id)
-		if err != nil {
-			s.logf("handover: export %s: %v", id, err)
-			continue
-		}
-		if ok {
-			out = append(out, boxState{typ: inst.Spec.Type, data: data})
-		}
-	}
-	return out
+	return s.Network.Server.ExportBoxStates(s.Device.ID)
 }
 
 // importBoxState merges exported snapshots into the new deployment's
 // instances, matching by spec type in deployment order. It returns how
 // many boxes received state.
-func importBoxState(next *Session, states []boxState) int {
+func importBoxState(next *Session, states []deployserver.BoxState) int {
 	if len(states) == 0 || next.Mode != ModeInNetwork {
 		return 0
 	}
-	dep := next.Network.Server.Deployment(next.Device.ID)
-	if dep == nil {
-		return 0
-	}
-	rt := next.Network.Server.Runtime
-	used := make([]bool, len(dep.InstanceIDs))
-	n := 0
-	for _, st := range states {
-		for i, id := range dep.InstanceIDs {
-			if used[i] {
-				continue
-			}
-			inst := rt.Instance(id)
-			if inst == nil || inst.Spec.Type != st.typ {
-				continue
-			}
-			used[i] = true
-			if err := rt.ImportState(id, st.data); err != nil {
-				next.logf("handover: import %s: %v", id, err)
-			} else {
-				n++
-			}
-			break
-		}
-	}
+	n := next.Network.Server.ImportBoxStates(next.Device.ID, states)
 	if n > 0 {
 		next.logf("handover: migrated state into %d middleboxes", n)
 	}
@@ -134,14 +87,19 @@ type Handover struct {
 	done     bool
 }
 
-// sameDeployment reports whether old and new resolved to the very same
+// SameDeployment reports whether old and new resolved to the very same
 // in-network deployment — a same-network roam (wifi flap): HandleDeploy
 // re-ACKed the matching configuration with the original cookie, so
-// there is nothing to drain or tear down.
-func (h *Handover) sameDeployment() bool {
+// there is nothing to drain or tear down. Callers that account usage
+// per deployment (the scenario harness) use this to avoid counting the
+// surviving deployment twice.
+func (h *Handover) SameDeployment() bool {
 	return h.Old.Mode == ModeInNetwork && h.New.Mode == ModeInNetwork &&
 		h.Old.Network == h.New.Network && h.Old.Cookie == h.New.Cookie
 }
+
+// Done reports whether Complete has already retired the old session.
+func (h *Handover) Done() bool { return h.done }
 
 // BeginRoam negotiates and deploys the device's PVN on the new networks
 // while the old session keeps serving — the "make". On success it
@@ -155,7 +113,7 @@ func BeginRoam(s *Session, networks []*AccessNetwork, opts RoamOptions) (*Handov
 		return nil, fmt.Errorf("core: roam connect: %w", err)
 	}
 	h := &Handover{Old: s, New: next, oldFlows: s.activeFlows()}
-	if !h.sameDeployment() {
+	if !h.SameDeployment() {
 		h.Migrated = importBoxState(next, states)
 	}
 	now := s.Network.clock()()
@@ -169,24 +127,33 @@ func BeginRoam(s *Session, networks []*AccessNetwork, opts RoamOptions) (*Handov
 	return h, nil
 }
 
-// Process steers one packet during the handover: everything rides the
-// old session until the new deployment's middleboxes are ready; then
-// flows the old session was carrying drain through it until DrainUntil,
-// while new flows go to the new session immediately.
-func (h *Handover) Process(data []byte, inPort uint16) (openflow.Disposition, error) {
-	if h.done || h.sameDeployment() {
-		return h.New.Process(data, inPort)
+// Steer reports which session would carry a packet processed at the
+// current instant: everything rides the old session until the new
+// deployment's middleboxes are ready; then flows the old session was
+// carrying drain through it until DrainUntil, while new flows pin to
+// the new session immediately. Exposed so harnesses that attribute
+// served traffic per network (the scenario engine's invoice-drift
+// invariant) know which deployment metered each packet.
+func (h *Handover) Steer(data []byte) *Session {
+	if h.done || h.SameDeployment() {
+		return h.New
 	}
 	now := h.New.Network.clock()()
 	if h.New.Mode == ModeInNetwork && now < h.New.ReadyAt() {
-		return h.Old.Process(data, inPort)
+		return h.Old
 	}
 	if now < h.DrainUntil {
 		if f, ok := flowOf(data); ok && h.oldFlows[f] {
-			return h.Old.Process(data, inPort)
+			return h.Old
 		}
 	}
-	return h.New.Process(data, inPort)
+	return h.New
+}
+
+// Process steers one packet during the handover (see Steer) and runs it
+// through the chosen session.
+func (h *Handover) Process(data []byte, inPort uint16) (openflow.Disposition, error) {
+	return h.Steer(data).Process(data, inPort)
 }
 
 // Complete finishes the handover: the old session is retired and its
@@ -201,7 +168,7 @@ func (h *Handover) Complete() (*billing.Invoice, error) {
 	h.done = true
 	now := h.New.Network.clock()()
 	var inv *billing.Invoice
-	if h.sameDeployment() {
+	if h.SameDeployment() {
 		_, bytes, _ := h.Old.Network.Server.Usage(h.Old.Device.ID)
 		inv = h.Old.invoiceFor(bytes)
 		h.New.logf("handover complete: same deployment re-attached (cookie=%d), %d bytes to date", h.New.Cookie, bytes)

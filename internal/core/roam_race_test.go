@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"pvn/internal/discovery"
+	"pvn/internal/packet"
+	"pvn/internal/pki"
+	"pvn/internal/pvnc"
+	"pvn/internal/tunnel"
+)
+
+// TestReclaimOrphansRacesBeginRoam hammers the crash-recovery path
+// against live roaming under the race detector: one goroutine ping-pongs
+// a device between two networks with make-before-break handovers
+// (discovery, deploy, box-state export/import, drain, teardown) while
+// another keeps crashing each provider (Restart, which forgets the
+// deployment book and the offer book) and reclaiming the leaked state
+// (ReclaimOrphans walking the switch table, meters, runtime chains and
+// instances). Every one of those touches the deployserver's switch and
+// runtime, which are serialized only by the server mutex — this test is
+// the proof that the serialization is complete: no data race, no
+// deadlock, and after a final sweep the books balance to zero.
+func TestReclaimOrphansRacesBeginRoam(t *testing.T) {
+	build := func(name string, seed uint64) *AccessNetwork {
+		p := fullProvider()
+		p.Provider = name
+		n, err := NewStandardNetwork(NetworkConfig{Name: name, Provider: p, VendorSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a := build("isp-a", 31)
+	b := build("isp-b", 32)
+
+	cfg, err := pvnc.Parse(cfgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &Device{
+		ID:          "racer",
+		Addr:        packet.MustParseIPv4("10.0.0.9"),
+		Config:      cfg,
+		BudgetMicro: 10_000,
+		Strategy:    discovery.StrategyReduce,
+		Tunnels:     tunnel.NewTable(packet.MustParseIPv4("10.0.0.9")),
+		Vendors:     pki.NewTrustStore(),
+	}
+
+	s, err := Connect(dev, []*AccessNetwork{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// The crashing provider: wipe the deployment/offer books and
+		// reclaim whatever the crash stranded, alternating networks so
+		// both ends of every handover get hit mid-flight.
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			n := a
+			if i%2 == 1 {
+				n = b
+			}
+			if i%3 == 0 {
+				n.Server.Restart()
+			}
+			n.Server.ReclaimOrphans()
+		}
+	}()
+
+	targets := [2]*AccessNetwork{b, a}
+	roamed := 0
+	for i := 0; i < 400; i++ {
+		// A roam into a freshly-restarted provider fails (its offer book
+		// is gone); RoamWith then hands back the still-serving old
+		// session, so the ping-pong just keeps going.
+		s2, _, err := RoamWith(s, []*AccessNetwork{targets[i%2]}, RoamOptions{DrainDeadline: -1})
+		s = s2
+		if err == nil {
+			roamed++
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if s == nil {
+		t.Fatal("lost the session")
+	}
+	if roamed == 0 {
+		t.Fatal("no roam ever succeeded under reclamation churn")
+	}
+
+	// Quiesce: retire the device, take one reclamation pass over whatever
+	// the last crash stranded — then demand both networks' books balance
+	// to zero: no rules, meters, chains or instances anywhere.
+	_, _ = s.Teardown()
+	for _, n := range []*AccessNetwork{a, b} {
+		_, _, _ = n.Server.Teardown(dev.ID)
+		n.Server.ReclaimOrphans()
+	}
+	for _, n := range []*AccessNetwork{a, b} {
+		if r, m, c, in := n.Server.ReclaimOrphans(); r+m+c+in != 0 {
+			t.Fatalf("%s: second reclaim still found rules=%d meters=%d chains=%d instances=%d",
+				n.Name, r, m, c, in)
+		}
+		if l := n.Server.Switch.Table.Len(); l != 0 {
+			t.Fatalf("%s: %d flow rules left after quiesce", n.Name, l)
+		}
+		if ids := n.Server.Runtime.InstanceIDs(); len(ids) != 0 {
+			t.Fatalf("%s: %d instances left after quiesce", n.Name, len(ids))
+		}
+	}
+}

@@ -9,6 +9,7 @@ package deployserver
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -286,6 +287,84 @@ func cutChain(s string) (owner, name string, ok bool) {
 	return s, "", false
 }
 
+// DeviceIDs returns the IDs of every device with a live deployment,
+// sorted — the stable enumeration the scenario harness walks when it
+// reconciles the deployment book against the switch and runtime.
+func (s *Server) DeviceIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.deployments))
+	for id := range s.deployments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// BoxState is one exported middlebox snapshot, keyed by spec type so it
+// can be matched to the corresponding instance in another deployment.
+type BoxState struct {
+	Type string
+	Data []byte
+}
+
+// ExportBoxStates snapshots every stateful middlebox in a device's
+// deployment, in deployment order. It runs under the server lock: the
+// runtime is not goroutine-safe, and a roam may export state while a
+// sweep or crash-reclaim is tearing instances down.
+func (s *Server) ExportBoxStates(deviceID string) []BoxState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dep := s.deployments[deviceID]
+	if dep == nil {
+		return nil
+	}
+	var out []BoxState
+	for _, id := range dep.InstanceIDs {
+		inst := s.Runtime.Instance(id)
+		if inst == nil {
+			continue
+		}
+		data, ok, err := s.Runtime.ExportState(id)
+		if err != nil || !ok {
+			continue
+		}
+		out = append(out, BoxState{Type: inst.Spec.Type, Data: data})
+	}
+	return out
+}
+
+// ImportBoxStates merges exported snapshots into a device's deployment,
+// matching by spec type in deployment order, under the server lock. It
+// returns how many instances received state.
+func (s *Server) ImportBoxStates(deviceID string, states []BoxState) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dep := s.deployments[deviceID]
+	if dep == nil || len(states) == 0 {
+		return 0
+	}
+	used := make([]bool, len(dep.InstanceIDs))
+	n := 0
+	for _, st := range states {
+		for i, id := range dep.InstanceIDs {
+			if used[i] {
+				continue
+			}
+			inst := s.Runtime.Instance(id)
+			if inst == nil || inst.Spec.Type != st.Type {
+				continue
+			}
+			used[i] = true
+			if err := s.Runtime.ImportState(id, st.Data); err == nil {
+				n++
+			}
+			break
+		}
+	}
+	return n
+}
+
 // Usage reports traffic counters for a device's deployment.
 func (s *Server) Usage(deviceID string) (packets, bytes int64, ok bool) {
 	s.mu.Lock()
@@ -347,10 +426,31 @@ func (s *Server) Renew(deviceID string) (leaseExpires time.Duration, ok bool) {
 	return dep.LeaseExpires, true
 }
 
+// SweptLease records one lease-expiry teardown with the deployment's
+// final usage counters — what the device forfeits when it lets a lease
+// lapse (billing for swept traffic happens out of band, if at all; the
+// scenario harness uses these to keep its byte accounting exact).
+type SweptLease struct {
+	DeviceID       string
+	Cookie         uint64
+	Packets, Bytes int64
+}
+
 // SweepExpired tears down every deployment whose lease has lapsed and
-// returns the affected device IDs. cmd/pvnd runs this periodically;
-// simulations call it from scheduled events.
+// returns the affected device IDs, sorted. cmd/pvnd runs this
+// periodically; simulations call it from scheduled events.
 func (s *Server) SweepExpired() []string {
+	swept := s.SweepExpiredDetail()
+	ids := make([]string, len(swept))
+	for i, sl := range swept {
+		ids[i] = sl.DeviceID
+	}
+	return ids
+}
+
+// SweepExpiredDetail is SweepExpired reporting each lapsed lease's
+// final usage, in device-ID order (deterministic across runs).
+func (s *Server) SweepExpiredDetail() []SweptLease {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.Now()
@@ -360,10 +460,14 @@ func (s *Server) SweepExpired() []string {
 			expired = append(expired, id)
 		}
 	}
+	sort.Strings(expired)
+	swept := make([]SweptLease, 0, len(expired))
 	for _, id := range expired {
-		s.teardownLocked(id)
+		cookie := s.deployments[id].Cookie
+		packets, bytes, _ := s.teardownLocked(id)
+		swept = append(swept, SweptLease{DeviceID: id, Cookie: cookie, Packets: packets, Bytes: bytes})
 	}
-	return expired
+	return swept
 }
 
 // Restart simulates the deploy-server process crashing and coming back:

@@ -581,6 +581,57 @@ func TestE13NoGoroutineLeak(t *testing.T) {
 	}
 }
 
+// TestE19StormsShape runs the composed-storm experiment at full scale
+// and checks its claims: every scenario row ends with zero invariant
+// violations, the storm fully evacuates the dying network, the flap
+// drives real tunnel failovers, the campaign's tampered records are all
+// rejected, and the soak actually covers its horizon.
+func TestE19StormsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-sim-second soak row; skipped in -short")
+	}
+	p := DefaultE19
+	res := E19(p)
+	find := func(label string) []string {
+		for _, row := range res.Rows {
+			if row[0] == label {
+				return row
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return nil
+	}
+
+	for _, label := range []string{"roam-storm", "flap", "campaign", "soak"} {
+		if got := find(label)[4]; got != "0" {
+			t.Fatalf("%s row reports %s invariant violations", label, got)
+		}
+	}
+	// Storm: nobody stranded on the dying network.
+	if res.Metrics["storm_stranded"] != 0 {
+		t.Fatalf("storm stranded %.0f devices", res.Metrics["storm_stranded"])
+	}
+	if res.Metrics["storm_roams"] < float64(p.StormDevices) {
+		t.Fatalf("storm roams %.0f < %d devices", res.Metrics["storm_roams"], p.StormDevices)
+	}
+	// Flap: the path crash forced at least one prober-driven failover.
+	if res.Metrics["flap_failovers"] == 0 {
+		t.Fatal("flap episode produced no tunnel failovers")
+	}
+	// Campaign: corruption detected, every tampered record rejected.
+	if res.Metrics["campaign_corrupts"] == 0 {
+		t.Fatal("campaign produced no detected corruptions")
+	}
+	if res.Metrics["campaign_rejects"] == 0 || res.Metrics["campaign_evil_installs"] != 0 {
+		t.Fatalf("campaign rejects %.0f, evil installs %.0f (want >0 and 0)",
+			res.Metrics["campaign_rejects"], res.Metrics["campaign_evil_installs"])
+	}
+	// Soak: the horizon was actually simulated.
+	if got := res.Metrics["soak_sim_seconds"]; got < p.SoakSimTime.Seconds() {
+		t.Fatalf("soak simulated %.0fs < %.0fs horizon", got, p.SoakSimTime.Seconds())
+	}
+}
+
 // TestExperimentsDeterministic: EXPERIMENTS.md promises bit-identical
 // tables on every run; verify for a representative subset.
 func TestExperimentsDeterministic(t *testing.T) {
@@ -604,6 +655,12 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E14", func() string { p := DefaultE14; p.PacketsPerPhase = 200; return E14(p).String() }},
 		{"E15", func() string { return E15(DefaultE15).String() }},
 		{"E16", func() string { p := DefaultE16; p.Nodes, p.Lookups = 48, 16; return E16(p).String() }},
+		{"E19", func() string {
+			p := DefaultE19
+			p.StormDevices = 10
+			p.SoakSimTime = 20_000 * time.Second
+			return E19(p).String()
+		}},
 	}
 	for _, c := range pairs {
 		a, b := c.run(), c.run()

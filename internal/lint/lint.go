@@ -115,6 +115,7 @@ func DefaultConfig() *Config {
 			"pvn/internal/deployserver": true,
 			"pvn/internal/dataplane":   true,
 			"pvn/internal/overlay":     true,
+			"pvn/internal/scenario":    true,
 		},
 		MiddleboxPkgs: map[string]bool{
 			"pvn/internal/middlebox":     true,

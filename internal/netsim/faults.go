@@ -1,6 +1,9 @@
 package netsim
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // Control-plane fault injection (paper §3.3 "coping with unavailability"):
 // the discovery/deployment exchanges ride links that drop, delay and
@@ -56,21 +59,78 @@ func NewFaultInjector(cfg FaultConfig, rng *RNG) *FaultInjector {
 	if rng == nil {
 		rng = NewRNG(1)
 	}
+	cfg.Outages = mergeOutages(append([]Outage(nil), cfg.Outages...))
 	return &FaultInjector{cfg: cfg, rng: rng}
 }
 
-// Config returns the injector's configuration.
-func (f *FaultInjector) Config() FaultConfig { return f.cfg }
+// Config returns a copy of the injector's configuration. The Outages
+// slice is copied too, so callers cannot mutate the injector's window
+// list (or observe later AddOutage calls) through the return value.
+func (f *FaultInjector) Config() FaultConfig {
+	cfg := f.cfg
+	cfg.Outages = append([]Outage(nil), f.cfg.Outages...)
+	return cfg
+}
 
-// AddOutage appends a crash window. Outage windows are consulted at
-// send and delivery time, so windows may be added while a simulation
-// runs (e.g. an experiment scripting an endpoint failure mid-flight).
-func (f *FaultInjector) AddOutage(o Outage) { f.cfg.Outages = append(f.cfg.Outages, o) }
+// AddOutage adds a crash window. Outage windows are consulted at send
+// and delivery time, so windows may be added while a simulation runs
+// (e.g. an experiment scripting an endpoint failure mid-flight).
+//
+// The window list is kept normalized — sorted by start, with
+// overlapping and adjacent windows coalesced — so two storms hitting
+// the same link compose into one downtime interval instead of an
+// ever-growing list: Down stays cheap and a long soak that keeps
+// scripting outages does not accumulate memory.
+func (f *FaultInjector) AddOutage(o Outage) {
+	f.cfg.Outages = mergeOutages(append(f.cfg.Outages, o))
+}
+
+// mergeOutages normalizes a window list: empty windows dropped, the
+// rest sorted by From and coalesced where they overlap or touch
+// (half-open windows [a,b) and [b,c) cover [a,c) with no gap).
+func mergeOutages(ws []Outage) []Outage {
+	kept := ws[:0]
+	for _, o := range ws {
+		if o.Until > o.From {
+			kept = append(kept, o)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].From < kept[j].From })
+	out := kept[:0]
+	for _, o := range kept {
+		if n := len(out); n > 0 && o.From <= out[n-1].Until {
+			if o.Until > out[n-1].Until {
+				out[n-1].Until = o.Until
+			}
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// pruneOutages drops windows that ended at or before now. Safe because
+// simulated time is monotonic and every Down check happens at a time
+// >= the send instant: a window with Until <= now can never match
+// again. Callers pass a clock-derived now (monotonic by construction).
+func (f *FaultInjector) pruneOutages(now time.Duration) {
+	ws := f.cfg.Outages
+	i := 0
+	for i < len(ws) && ws[i].Until <= now {
+		i++
+	}
+	if i > 0 {
+		f.cfg.Outages = append(ws[:0], ws[i:]...)
+	}
+}
 
 // Down reports whether the peer is inside a crash window at now.
 func (f *FaultInjector) Down(now time.Duration) bool {
 	for _, o := range f.cfg.Outages {
-		if now >= o.From && now < o.Until {
+		if o.From > now {
+			return false // sorted: no later window can contain now
+		}
+		if now < o.Until {
 			return true
 		}
 	}
@@ -93,6 +153,7 @@ func (f *FaultInjector) delay() time.Duration {
 // core library's direct HandleDM/HandleDeploy calls — use Cut where
 // Deliver's asynchronous scheduling has no clock to ride.
 func (f *FaultInjector) Cut(now time.Duration) bool {
+	f.pruneOutages(now)
 	f.Stats.Sent++
 	if f.Down(now) {
 		f.Stats.OutageDrops++
@@ -115,6 +176,7 @@ func (f *FaultInjector) Cut(now time.Duration) bool {
 // lands inside a crash window is lost too (a crashed peer cannot
 // process arrivals).
 func (f *FaultInjector) Deliver(clock *Clock, deliver func()) {
+	f.pruneOutages(clock.Now())
 	f.Stats.Sent++
 	if f.Down(clock.Now()) {
 		f.Stats.OutageDrops++

@@ -93,6 +93,99 @@ func TestFaultInjectorOutageAtDelivery(t *testing.T) {
 	}
 }
 
+// TestFaultInjectorOutageComposition: two storms hitting the same link
+// script overlapping, nested and adjacent crash windows. The composed
+// semantics must be the union of the windows, the list must coalesce to
+// a normalized form (no unbounded growth), and the delivery-time check
+// must honour windows added after the initial config.
+func TestFaultInjectorOutageComposition(t *testing.T) {
+	ms := time.Millisecond
+	inj := NewFaultInjector(FaultConfig{
+		DelayMin: 10 * ms,
+		Outages:  []Outage{{From: 100 * ms, Until: 400 * ms}},
+	}, NewRNG(1))
+	inj.AddOutage(Outage{From: 200 * ms, Until: 300 * ms}) // nested
+	inj.AddOutage(Outage{From: 350 * ms, Until: 500 * ms}) // overlapping tail
+	inj.AddOutage(Outage{From: 500 * ms, Until: 600 * ms}) // adjacent
+	inj.AddOutage(Outage{From: 700 * ms, Until: 700 * ms}) // empty, dropped
+
+	got := inj.Config().Outages
+	if len(got) != 1 || got[0] != (Outage{From: 100 * ms, Until: 600 * ms}) {
+		t.Fatalf("windows not coalesced: %v", got)
+	}
+	for _, c := range []struct {
+		at   time.Duration
+		down bool
+	}{{50 * ms, false}, {100 * ms, true}, {250 * ms, true}, {399 * ms, true},
+		{450 * ms, true}, {599 * ms, true}, {600 * ms, false}} {
+		if inj.Down(c.at) != c.down {
+			t.Fatalf("Down(%v) = %v, want %v", c.at, !c.down, c.down)
+		}
+	}
+
+	// Delivery-time check across composed windows: a message sent just
+	// before the union window whose 10ms delay lands inside it is lost;
+	// one sent inside a gap that never existed (the seams at 300/350/500
+	// are covered) is lost too; one sent after the union delivers.
+	clock := &Clock{}
+	delivered := 0
+	send := func() { inj.Deliver(clock, func() { delivered++ }) }
+	clock.Schedule(95*ms, send)  // up at send, arrival at 105ms is down
+	clock.Schedule(495*ms, send) // seam between original windows: still down
+	clock.Schedule(600*ms, send) // first instant after the union
+	clock.Run()
+	if delivered != 1 || inj.Stats.OutageDrops != 2 {
+		t.Fatalf("delivered=%d outageDrops=%d, want 1/2", delivered, inj.Stats.OutageDrops)
+	}
+}
+
+// TestFaultInjectorOutagePruning: a soak that keeps scripting outages
+// must not accumulate windows forever — expired windows are pruned as
+// the clock passes them, with no change in observable drop behaviour.
+func TestFaultInjectorOutagePruning(t *testing.T) {
+	clock := &Clock{}
+	inj := NewFaultInjector(FaultConfig{DelayMin: time.Millisecond}, NewRNG(1))
+	delivered, lost := 0, 0
+	step := 10 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		at := time.Duration(i) * step
+		clock.At(at, func() {
+			// Each episode crashes the peer for the first half of its
+			// window; sends during that half are lost, later sends land.
+			inj.AddOutage(Outage{From: clock.Now(), Until: clock.Now() + step/2})
+			inj.Deliver(clock, func() { delivered++ })
+		})
+		clock.At(at+step*3/4, func() {
+			inj.Deliver(clock, func() { delivered++ })
+		})
+	}
+	clock.Run()
+	lost = int(inj.Stats.OutageDrops)
+	if delivered != 1000 || lost != 1000 {
+		t.Fatalf("delivered=%d lost=%d, want 1000/1000", delivered, lost)
+	}
+	if n := len(inj.Config().Outages); n > 2 {
+		t.Fatalf("outage list grew to %d windows; expired windows must be pruned", n)
+	}
+}
+
+// TestFaultInjectorConfigIsolated: Config returns a snapshot — mutating
+// it must not change the injector, and AddOutage after the snapshot
+// must not show through it.
+func TestFaultInjectorConfigIsolated(t *testing.T) {
+	ms := time.Millisecond
+	inj := NewFaultInjector(FaultConfig{Outages: []Outage{{From: 10 * ms, Until: 20 * ms}}}, NewRNG(1))
+	snap := inj.Config()
+	snap.Outages[0] = Outage{From: 0, Until: 100 * ms}
+	if inj.Down(5 * ms) {
+		t.Fatal("mutating the Config snapshot changed the injector")
+	}
+	inj.AddOutage(Outage{From: 30 * ms, Until: 40 * ms})
+	if len(snap.Outages) != 1 {
+		t.Fatal("AddOutage visible through an earlier Config snapshot")
+	}
+}
+
 func TestFaultInjectorDeterministic(t *testing.T) {
 	run := func() []int64 {
 		clock := &Clock{}

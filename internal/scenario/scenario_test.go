@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pvn/internal/core"
+	"pvn/internal/netsim"
+	"pvn/internal/openflow"
+)
+
+// TestSoakShort is the `make soak-short` gate: a composed random storm
+// of ~30 simulated minutes with every arm enabled, strict-checked at
+// quiesce, under -race in CI.
+func TestSoakShort(t *testing.T) {
+	e := New(DefaultConfig(1))
+	e.Soak(1800 * time.Second)
+	if n := len(e.Violations()); n != 0 {
+		t.Fatalf("%d invariant violations:\n%s", n, e.Report())
+	}
+	if s := e.Summary(); s.Sent == 0 || s.Served == 0 {
+		t.Fatalf("soak sent no traffic: %+v", s)
+	}
+}
+
+// TestSoakMillionSimSeconds is the acceptance soak: >= 1,000,000
+// simulated seconds of weighted random storm composition with every
+// global invariant holding at every checkpoint and strictly at quiesce.
+func TestSoakMillionSimSeconds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak skipped in -short")
+	}
+	e := New(DefaultConfig(42))
+	e.Soak(1_000_000 * time.Second)
+	sum := e.Summary()
+	if sum.SimTime < 1_000_000*time.Second {
+		t.Fatalf("soak ended early: %v simulated", sum.SimTime)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("invariant violations over %v:\n%s", sum.SimTime, e.Report())
+	}
+	// The composition must actually compose: every storm arm fired.
+	if sum.Roams == 0 || sum.Crashes == 0 || sum.Sweeps == 0 || sum.Corrupts == 0 ||
+		sum.Failovers == 0 || sum.Rejects == 0 || sum.GossipLies == 0 {
+		t.Fatalf("a storm arm never fired: %+v", sum)
+	}
+	if e.evilInstalls != 0 {
+		t.Fatalf("%d tampered modules installed", e.evilInstalls)
+	}
+}
+
+// TestSoakDeterminism runs the same seed twice and demands bit-identical
+// summaries and reports — the property that makes "reproduce with
+// -seed=N" meaningful.
+func TestSoakDeterminism(t *testing.T) {
+	run := func() (Summary, string) {
+		e := New(DefaultConfig(99))
+		e.Soak(40_000 * time.Second)
+		return e.Summary(), e.Report()
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 {
+		t.Fatalf("summaries differ for one seed:\n%+v\n%+v", s1, s2)
+	}
+	if r1 != r2 {
+		t.Fatalf("reports differ for one seed:\n%s\n---\n%s", r1, r2)
+	}
+}
+
+// TestSeedsVary: different seeds produce different storms (the RNG is
+// actually driving the composition, not decorating it).
+func TestSeedsVary(t *testing.T) {
+	e1 := New(DefaultConfig(5))
+	e1.Soak(30_000 * time.Second)
+	e2 := New(DefaultConfig(6))
+	e2.Soak(30_000 * time.Second)
+	if e1.Summary() == e2.Summary() {
+		t.Fatalf("seeds 5 and 6 produced identical summaries: %+v", e1.Summary())
+	}
+}
+
+// TestRoamStormScripted drives the flash-crowd evacuation: every device
+// starts on one network, its control channel dies, and the whole
+// population roams off it inside one window — with retries, so the
+// lossy exits delay rather than strand anyone.
+func TestRoamStormScripted(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.Devices = 24
+	cfg.FlapDevices = 0
+	cfg.CampaignDevices = 0
+	cfg.OverlayNodes = 0
+	cfg.InitialNetwork = 0
+	cfg.LeaseTTL = 0 // isolate the storm from lease churn
+	e := New(cfg)
+	dying := e.W.Nets[0]
+	dying.Faults.AddOutage(netsim.Outage{From: 100 * time.Second, Until: 400 * time.Second})
+	e.ScheduleRoamStorm(120*time.Second, 120*time.Second)
+	e.Start(600 * time.Second)
+	e.FinishAt(600 * time.Second)
+
+	if n := len(e.Violations()); n != 0 {
+		t.Fatalf("violations:\n%s", e.Report())
+	}
+	for _, d := range e.W.Devs {
+		if d.sess != nil && d.sess.Network == dying && d.sess.Mode == core.ModeInNetwork {
+			t.Fatalf("%s still in-network on the dying network", d.id)
+		}
+	}
+	if e.roams < int64(cfg.Devices) {
+		t.Fatalf("only %d roams for %d devices", e.roams, cfg.Devices)
+	}
+}
+
+// TestFlapEpisodeScripted runs one flap episode in isolation and checks
+// its exact machinery: stacked outage windows on one injector, tunnel
+// fallback, prober-driven failover, and a clean in-network landing.
+func TestFlapEpisodeScripted(t *testing.T) {
+	cfg := DefaultConfig(21)
+	cfg.Devices = 2
+	cfg.FlapDevices = 1
+	cfg.CampaignDevices = 0
+	cfg.OverlayNodes = 0
+	cfg.LeaseTTL = 0
+	cfg.InitialNetwork = 0
+	e := New(cfg)
+	var flap *device
+	for _, d := range e.W.Devs {
+		if d.flap {
+			flap = d
+		}
+	}
+	if flap == nil {
+		t.Fatal("no flap device built")
+	}
+	e.Start(400 * time.Second)
+	e.W.Clock.At(50*time.Second, func() { e.FlapEpisode(flap.idx) })
+	e.FinishAt(400 * time.Second)
+
+	if n := len(e.Violations()); n != 0 {
+		t.Fatalf("violations:\n%s", e.Report())
+	}
+	if e.flapEpisodes != 1 {
+		t.Fatalf("flapEpisodes = %d", e.flapEpisodes)
+	}
+	if got := flap.dev.Tunnels.Failovers(); got == 0 {
+		t.Fatalf("flap episode produced no tunnel failovers")
+	}
+	if e.flapRoams == 0 {
+		t.Fatalf("flap episode produced no roams")
+	}
+}
+
+// TestBrokenInvariantDetected deliberately breaks the world behind the
+// engine's back — an orphan flow rule a crashed provider "forgot" — and
+// demands the checker catch it and the report carry the seed for
+// one-command reproduction.
+func TestBrokenInvariantDetected(t *testing.T) {
+	cfg := DefaultConfig(77)
+	e := New(cfg)
+	e.Start(2_000 * time.Second)
+	e.W.Clock.At(1_000*time.Second, func() {
+		e.W.Nets[0].Server.Switch.Table.Install(&openflow.FlowEntry{
+			Priority: 99,
+			Actions:  []openflow.Action{openflow.Output(1)},
+			Cookie:   0xdead,
+		}, e.W.Clock.Now())
+	})
+	e.FinishAt(2_000 * time.Second)
+
+	if len(e.Violations()) == 0 {
+		t.Fatal("orphan rule not detected by the lease-leak invariant")
+	}
+	found := false
+	for _, v := range e.Violations() {
+		if v.Invariant == "lease-leak" && strings.Contains(v.Detail, "orphan flow rule") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrong violation kind:\n%s", e.Report())
+	}
+	rep := e.Report()
+	if !strings.Contains(rep, "seed=77") || !strings.Contains(rep, "-soak -seed=77") {
+		t.Fatalf("report lacks the reproduction seed:\n%s", rep)
+	}
+	if !strings.Contains(rep, "event trace tail") {
+		t.Fatalf("report lacks the event trace:\n%s", rep)
+	}
+}
+
+// TestBrokenAccountingDetected tears a session down behind the engine's
+// back: the provider invoices nobody, the engine's billable ledger no
+// longer balances, and invoice-drift must fire.
+func TestBrokenAccountingDetected(t *testing.T) {
+	cfg := DefaultConfig(78)
+	cfg.LeaseTTL = 0 // no sweeps to legitimately absorb the usage
+	e := New(cfg)
+	e.Start(3_000 * time.Second)
+	e.W.Clock.At(1_500*time.Second, func() {
+		d := e.W.Devs[0]
+		if d.sess != nil && d.hand == nil {
+			_, _, _ = d.sess.Network.Server.Teardown(d.id) // usage vanishes unbilled
+		}
+	})
+	e.FinishAt(3_000 * time.Second)
+
+	found := false
+	for _, v := range e.Violations() {
+		if v.Invariant == "invoice-drift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("behind-the-back teardown not caught by invoice-drift:\n%s", e.Report())
+	}
+}
