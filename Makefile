@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short e16-determinism soak-short soak bench-gate bench-baseline check bench experiments examples cover clean
+.PHONY: all build vet lint lint-fix-audit test race test-race fuzz-short e16-determinism e17-determinism soak-short soak-exit-gate soak bench-gate bench-baseline check bench experiments examples cover clean
 
 all: build vet test
 
@@ -66,6 +66,12 @@ fuzz-short:
 e16-determinism:
 	$(GO) test -race -run 'TestExperimentsDeterministic|TestE16OverlayShape' ./internal/experiments/
 
+# The orchestrator determinism gate: the E17 table (placement book,
+# evacuation, billing) must be bit-identical across runs under the race
+# detector, and the placement property/fuzz suite must hold.
+e17-determinism:
+	$(GO) test -race -run 'TestE17OrchestrationShape|TestPlacementDeterminism|TestPlacementProperties' ./internal/experiments/ ./internal/orchestrator/
+
 # The adversarial soak gate: a composed random failure storm (roam
 # storms, flaps, lease churn, provider crashes, adversarial campaigns)
 # on the scenario engine, strict-checked against every global invariant
@@ -73,6 +79,11 @@ e16-determinism:
 # line that replays it bit-for-bit.
 soak-short:
 	$(GO) test -race -run 'TestSoakShort|TestSoakDeterminism|TestBrokenInvariantDetected' ./internal/scenario/
+
+# The headless soak exit gate: `pvnbench -soak` MUST exit non-zero when
+# invariants are violated, or CI's soak runs green-light broken code.
+soak-exit-gate:
+	$(GO) test -run 'TestSoakExitCode' ./cmd/pvnbench/
 
 # The long soak: >= 1,000,000 simulated seconds of storm composition,
 # plus the reclamation-vs-roam race. Minutes-scale; not part of check.
@@ -94,9 +105,9 @@ bench-baseline:
 	$(GO) run ./cmd/pvnbench -dataplane -bench-json .
 
 # The pre-merge gate: build, lint, full tests, full race pass, the E16
-# determinism pair, the short adversarial soak, short fuzz, and the
-# dataplane perf gate.
-check: build lint test race e16-determinism soak-short fuzz-short bench-gate
+# and E17 determinism pairs, the short adversarial soak, the soak exit
+# gate, short fuzz, and the dataplane perf gate.
+check: build lint test race e16-determinism e17-determinism soak-short soak-exit-gate fuzz-short bench-gate
 
 # One iteration of every benchmark (experiments E1-E12 + micro-benches).
 bench:

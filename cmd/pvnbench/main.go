@@ -149,6 +149,14 @@ var all = []experiment{
 		}
 		return experiments.E16(p)
 	}},
+	{"E17", "multi-host edge orchestration: placement, evacuation, admission", func(q bool) *experiments.Result {
+		p := experiments.DefaultE17
+		if q {
+			p.PlacementRequests = 5000
+			p.ShareSizes = []int{50, 500}
+		}
+		return experiments.E17(p)
+	}},
 	{"E19", "composed failure storms under global invariants", func(q bool) *experiments.Result {
 		p := experiments.DefaultE19
 		if q {

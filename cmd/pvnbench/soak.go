@@ -2,10 +2,27 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"pvn/internal/scenario"
 )
+
+// runSoakConfig is the testable core of the soak gate: it runs the
+// weighted random storm composition against an explicit config, prints
+// the report to w, and returns non-nil iff any invariant was violated.
+// main turns that error into exit code 1 — the property CI's headless
+// soak gate depends on, regression-tested in soak_test.go.
+func runSoakConfig(w io.Writer, cfg scenario.Config, simTime time.Duration) error {
+	e := scenario.New(cfg)
+	e.Soak(simTime)
+	fmt.Fprint(w, e.Report())
+	if n := len(e.Violations()); n != 0 {
+		return fmt.Errorf("soak: %d invariant violations (seed=%d)", n, cfg.Seed)
+	}
+	return nil
+}
 
 // runSoak executes the scenario engine's weighted random storm
 // composition for simHours simulated hours and prints its report. This
@@ -14,11 +31,6 @@ import (
 // `pvnbench -soak -seed=N -sim-hours=H`, and running exactly that
 // replays the identical storm sequence bit-for-bit.
 func runSoak(seed uint64, simHours float64) error {
-	e := scenario.New(scenario.DefaultConfig(seed))
-	e.Soak(time.Duration(simHours * float64(time.Hour)))
-	fmt.Print(e.Report())
-	if n := len(e.Violations()); n != 0 {
-		return fmt.Errorf("soak: %d invariant violations (seed=%d)", n, seed)
-	}
-	return nil
+	return runSoakConfig(os.Stdout, scenario.DefaultConfig(seed),
+		time.Duration(simHours*float64(time.Hour)))
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"pvn/internal/scenario"
+)
+
+// TestSoakExitCodeOnViolation: a soak that records violations MUST
+// return an error (exit code 1 in main) — otherwise the headless CI
+// gate green-lights broken invariants. An impossible blackout bound
+// forces violations deterministically.
+func TestSoakExitCodeOnViolation(t *testing.T) {
+	cfg := scenario.DefaultConfig(1)
+	cfg.BlackoutBound = time.Nanosecond
+	err := runSoakConfig(io.Discard, cfg, 4000*time.Second)
+	if err == nil {
+		t.Fatal("soak with forced violations returned nil — CI gate would pass broken invariants")
+	}
+	if !strings.Contains(err.Error(), "invariant violations") || !strings.Contains(err.Error(), "seed=1") {
+		t.Fatalf("soak error %q lacks violation count or reproduction seed", err)
+	}
+}
+
+// TestSoakExitCodeClean: the same storm under the real bound is clean
+// and returns nil (exit code 0).
+func TestSoakExitCodeClean(t *testing.T) {
+	err := runSoakConfig(io.Discard, scenario.DefaultConfig(1), 4000*time.Second)
+	if err != nil {
+		t.Fatalf("clean soak returned %v", err)
+	}
+}

@@ -71,6 +71,18 @@ type Server struct {
 	// explicit teardown. Nonzero turns deployments into leases a crashed
 	// or departed device cannot leak forever (§3.3).
 	LeaseTTL time.Duration
+	// RenewJitter desynchronizes lease expiries: each grant/renewal adds
+	// a per-device offset in [0, RenewJitter) to the expiry, derived
+	// from a stable hash of the device ID (deterministic — no RNG).
+	// Without it, thousands of co-placed subscribers deployed in one
+	// orchestration wave share a single expiry instant and renew in a
+	// synchronized storm forever. Zero disables jitter.
+	RenewJitter time.Duration
+	// Templates, when non-nil, compiles deployments through the shared
+	// template cache: subscribers of the same store module share one
+	// compiled skeleton and alias its namespace-free action slices
+	// instead of each owning a private copy (ROADMAP item 1).
+	Templates *pvnc.TemplateCache
 
 	// mu guards the deployment book and cookie counter, and serializes
 	// installs/teardowns against the (not goroutine-safe) runtime —
@@ -192,12 +204,18 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 	// Namespace chains per deployment so the same owner can deploy the
 	// same PVNC from several devices without collisions (§3.1).
 	namespace := cfg.Owner + "." + req.DeviceID
-	compiled, err := pvnc.Compile(cfg, pvnc.CompileOptions{
+	copt := pvnc.CompileOptions{
 		Cookie:         cookie,
 		DevicePort:     s.DevicePort,
 		UpstreamPort:   s.UpstreamPort,
 		ChainNamespace: namespace,
-	})
+	}
+	var compiled *pvnc.Compiled
+	if s.Templates != nil {
+		compiled, err = s.Templates.CompileShared(cfg, copt)
+	} else {
+		compiled, err = pvnc.Compile(cfg, copt)
+	}
 	if err != nil {
 		return nack("compile: %v", err)
 	}
@@ -212,7 +230,7 @@ func (s *Server) HandleDeploy(req *discovery.DeployRequest) *discovery.DeployRes
 		InstalledAt: s.Now(),
 	}
 	if s.LeaseTTL > 0 {
-		dep.LeaseExpires = s.Now() + s.LeaseTTL
+		dep.LeaseExpires = s.Now() + s.LeaseTTL + s.leaseJitter(req.DeviceID)
 	}
 
 	// The new request is valid and compiled: retire the deployment it
@@ -421,9 +439,30 @@ func (s *Server) Renew(deviceID string) (leaseExpires time.Duration, ok bool) {
 		return 0, false
 	}
 	if s.LeaseTTL > 0 {
-		dep.LeaseExpires = s.Now() + s.LeaseTTL
+		dep.LeaseExpires = s.Now() + s.LeaseTTL + s.leaseJitter(deviceID)
 	}
 	return dep.LeaseExpires, true
+}
+
+// leaseJitter returns the device's stable expiry offset in
+// [0, RenewJitter). An FNV-1a hash of the device ID keeps the offset
+// deterministic across runs and restarts without consuming an RNG
+// stream, and spreads a cohort of simultaneously-deployed subscribers
+// across the whole jitter window so their renewals never synchronize.
+func (s *Server) leaseJitter(deviceID string) time.Duration {
+	if s.RenewJitter <= 0 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(deviceID); i++ {
+		h ^= uint64(deviceID[i])
+		h *= prime64
+	}
+	return time.Duration(h % uint64(s.RenewJitter))
 }
 
 // SweptLease records one lease-expiry teardown with the deployment's

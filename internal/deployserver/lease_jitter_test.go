@@ -1,0 +1,142 @@
+package deployserver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pvn/internal/discovery"
+	"pvn/internal/pvnc"
+)
+
+// herdSrc is a middlebox-free module so a thousand deploys stay cheap.
+func herdSrc(owner, device string) string {
+	return fmt.Sprintf(`pvnc herd
+owner %s
+device %s
+policy 10 match proto=tcp dport=443 action=forward
+policy 0 match any action=forward
+`, owner, device)
+}
+
+func herdDeploy(t *testing.T, s *Server, i int) string {
+	t.Helper()
+	id := fmt.Sprintf("dev%04d", i)
+	src := herdSrc(fmt.Sprintf("user%04d", i), fmt.Sprintf("10.%d.%d.%d", i/65536, (i/256)%256, 1+i%200))
+	resp := s.HandleDeploy(&discovery.DeployRequest{DeviceID: id, PVNCSource: src, Payment: 0})
+	if !resp.OK {
+		t.Fatalf("deploy %s: %s", id, resp.Reason)
+	}
+	return id
+}
+
+// TestLeaseRenewalJitterBreaksHerd: a cohort of subscribers deployed in
+// one orchestration wave all share a TTL. Without jitter every lease
+// expires on the same instant — a synchronized renewal storm each TTL.
+// RenewJitter must spread the cohort across the window, deterministically,
+// and renewals must preserve each device's offset.
+func TestLeaseRenewalJitterBreaksHerd(t *testing.T) {
+	const n = 1000
+	const ttl = 60 * time.Second
+	const jitter = 30 * time.Second
+
+	expiries := func(withJitter bool) map[string]time.Duration {
+		now := time.Duration(0)
+		s := testServer(t, &now)
+		s.LeaseTTL = ttl
+		if withJitter {
+			s.RenewJitter = jitter
+		}
+		out := make(map[string]time.Duration, n)
+		for i := 0; i < n; i++ {
+			id := herdDeploy(t, s, i)
+			out[id] = s.Deployment(id).LeaseExpires
+		}
+		return out
+	}
+
+	plain := expiries(false)
+	distinct := map[time.Duration]bool{}
+	for _, e := range plain {
+		distinct[e] = true
+	}
+	if len(distinct) != 1 {
+		t.Fatalf("without jitter, %d leases should share one expiry, got %d", n, len(distinct))
+	}
+
+	jittered := expiries(true)
+	buckets := map[time.Duration]int{}
+	for id, e := range jittered {
+		if e < ttl || e >= ttl+jitter {
+			t.Fatalf("%s expiry %v outside [ttl, ttl+jitter)", id, e)
+		}
+		buckets[e/time.Second] = buckets[e/time.Second] + 1
+	}
+	// 1000 devices across a 30-bucket window: demand a real spread and
+	// no bucket hoarding a herd.
+	if len(buckets) < 25 {
+		t.Fatalf("jitter spread %d devices over only %d 1s-buckets", n, len(buckets))
+	}
+	for b, c := range buckets {
+		if c > n/5 {
+			t.Fatalf("bucket %ds holds %d/%d devices — still a herd", b, c, n)
+		}
+	}
+
+	// Deterministic: a second run lands every device on the same expiry.
+	again := expiries(true)
+	for id, e := range jittered {
+		if again[id] != e {
+			t.Fatalf("%s expiry drifted across runs: %v vs %v", id, e, again[id])
+		}
+	}
+
+	// Renewal keeps the per-device offset: expiry = now + TTL + jitter(dev).
+	now := time.Duration(0)
+	s := testServer(t, &now)
+	s.LeaseTTL, s.RenewJitter = ttl, jitter
+	id := herdDeploy(t, s, 7)
+	first := s.Deployment(id).LeaseExpires
+	now = 10 * time.Second
+	renewed, ok := s.Renew(id)
+	if !ok {
+		t.Fatal("renew failed")
+	}
+	if renewed != first+10*time.Second {
+		t.Fatalf("renewal changed the device's jitter offset: %v vs %v", renewed, first+10*time.Second)
+	}
+}
+
+// TestDeployViaTemplateCache: a Templates-enabled server installs the
+// same deployments as a plain one, and co-subscribers of one module hit
+// the shared skeleton.
+func TestDeployViaTemplateCache(t *testing.T) {
+	now := time.Duration(0)
+	plain := testServer(t, &now)
+	shared := testServer(t, &now)
+	shared.Templates = pvnc.NewTemplateCache()
+
+	for i := 0; i < 8; i++ {
+		herdDeploy(t, plain, i)
+		id := herdDeploy(t, shared, i)
+		pp, pb, _ := plain.Usage(id)
+		sp, sb, _ := shared.Usage(id)
+		if pp != sp || pb != sb {
+			t.Fatalf("usage diverged for %s", id)
+		}
+	}
+	if plain.Switch.Table.Len() != shared.Switch.Table.Len() {
+		t.Fatalf("table sizes diverged: %d vs %d", plain.Switch.Table.Len(), shared.Switch.Table.Len())
+	}
+	st := shared.Templates.Stats()
+	if st.Templates != 1 || st.Hits != 7 {
+		t.Fatalf("expected 1 template + 7 hits, got %+v", st)
+	}
+	// Teardown still removes every rule the shared compile installed.
+	if _, _, err := shared.Teardown("dev0003"); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Switch.Table.Len() != plain.Switch.Table.Len()-4 {
+		t.Fatalf("teardown under sharing left %d rules (plain %d)", shared.Switch.Table.Len(), plain.Switch.Table.Len())
+	}
+}

@@ -632,6 +632,55 @@ func TestE19StormsShape(t *testing.T) {
 	}
 }
 
+// TestE17OrchestrationShape checks the orchestration acceptance
+// criteria: the Bari heuristic beats both baselines on cost per chain
+// under identical budgets, killing a host evacuates 100% of its chains
+// within the detection bound with zero billing drift, template sharing
+// cuts per-subscriber table bytes below the naive compile, and
+// admission/brownout reject over-quota tenants and never shed a
+// security chain.
+func TestE17OrchestrationShape(t *testing.T) {
+	p := DefaultE17
+	p.PlacementRequests = 5000
+	p.ShareSizes = []int{50, 500}
+	res := E17(p)
+
+	for _, f := range res.Findings {
+		if strings.Contains(f, "VIOLATED") {
+			t.Fatalf("finding violated: %s", f)
+		}
+	}
+	m := res.Metrics
+	if m["placement_cost_heuristic"] >= m["placement_cost_random"] ||
+		m["placement_cost_heuristic"] >= m["placement_cost_first-fit"] {
+		t.Fatalf("heuristic not cheapest: heur=%.1f rand=%.1f ff=%.1f",
+			m["placement_cost_heuristic"], m["placement_cost_random"], m["placement_cost_first-fit"])
+	}
+	if m["evac_chains"] == 0 || m["evac_evacuated"] != m["evac_chains"] {
+		t.Fatalf("evacuation incomplete: %.0f/%.0f", m["evac_evacuated"], m["evac_chains"])
+	}
+	if m["evac_blackout_s"] <= 0 || m["evac_blackout_s"] > m["evac_bound_s"] {
+		t.Fatalf("blackout %.1fs outside (0, %.1fs]", m["evac_blackout_s"], m["evac_bound_s"])
+	}
+	if m["evac_drift_micro"] != 0 {
+		t.Fatalf("billing drifted %.0f micro across the crash", m["evac_drift_micro"])
+	}
+	for _, n := range p.ShareSizes {
+		shared := m[fmt.Sprintf("share_bytes_per_sub_%d", n)]
+		naive := m[fmt.Sprintf("naive_bytes_per_sub_%d", n)]
+		if shared >= naive {
+			t.Fatalf("sharing saved nothing at n=%d: %.0f vs naive %.0f", n, shared, naive)
+		}
+	}
+	if m["quota_rejects"] != 3 {
+		t.Fatalf("quota rejected %.0f chains, want 3", m["quota_rejects"])
+	}
+	if m["brownout_sheds"] == 0 || m["security_sheds"] != 0 {
+		t.Fatalf("brownout sheds %.0f, security sheds %.0f (want >0 and 0)",
+			m["brownout_sheds"], m["security_sheds"])
+	}
+}
+
 // TestExperimentsDeterministic: EXPERIMENTS.md promises bit-identical
 // tables on every run; verify for a representative subset.
 func TestExperimentsDeterministic(t *testing.T) {
@@ -655,6 +704,12 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E14", func() string { p := DefaultE14; p.PacketsPerPhase = 200; return E14(p).String() }},
 		{"E15", func() string { return E15(DefaultE15).String() }},
 		{"E16", func() string { p := DefaultE16; p.Nodes, p.Lookups = 48, 16; return E16(p).String() }},
+		{"E17", func() string {
+			p := DefaultE17
+			p.PlacementRequests = 5000
+			p.ShareSizes = []int{50, 500}
+			return E17(p).String()
+		}},
 		{"E19", func() string {
 			p := DefaultE19
 			p.StormDevices = 10

@@ -61,7 +61,7 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-line rule statement (pvnlint -list prints it).
 	Doc string
-	Run  func(*Pass)
+	Run func(*Pass)
 }
 
 // Pass carries one (analyzer, package) run and collects its findings.
@@ -105,17 +105,18 @@ type Config struct {
 func DefaultConfig() *Config {
 	return &Config{
 		DeterministicPkgs: map[string]bool{
-			"pvn/internal/experiments": true,
-			"pvn/internal/netsim":      true,
-			"pvn/internal/discovery":   true,
-			"pvn/internal/tunnel":      true,
-			"pvn/internal/middlebox":   true,
+			"pvn/internal/experiments":   true,
+			"pvn/internal/netsim":        true,
+			"pvn/internal/discovery":     true,
+			"pvn/internal/tunnel":        true,
+			"pvn/internal/middlebox":     true,
 			"pvn/internal/middlebox/mbx": true,
-			"pvn/internal/core":        true,
-			"pvn/internal/deployserver": true,
-			"pvn/internal/dataplane":   true,
-			"pvn/internal/overlay":     true,
-			"pvn/internal/scenario":    true,
+			"pvn/internal/core":          true,
+			"pvn/internal/deployserver":  true,
+			"pvn/internal/dataplane":     true,
+			"pvn/internal/overlay":       true,
+			"pvn/internal/scenario":      true,
+			"pvn/internal/orchestrator":  true,
 		},
 		MiddleboxPkgs: map[string]bool{
 			"pvn/internal/middlebox":     true,

@@ -185,6 +185,59 @@ func NewChainTopology(seed uint64, n int, link LinkConfig) (*Network, []*Node) {
 	return net, nodes
 }
 
+// FleetTopology models a multi-host edge fleet: a core router, one
+// aggregation switch per failure domain (rack/zone), and edge hosts
+// spread round-robin across the domains. Racks sit at increasing
+// distance from the core — domain d's uplink latency is (d+1)× the
+// base — so hosts have heterogeneous delays for placement budgets.
+type FleetTopology struct {
+	Net  *Network
+	Core *Node
+	// Aggs[d] is failure domain d's aggregation switch.
+	Aggs []*Node
+	// Hosts[i] lives in failure domain HostDomain[i].
+	Hosts      []*Node
+	HostDomain []int
+
+	hostDelay []time.Duration
+}
+
+// NewFleetTopology builds the fleet and computes routes. Core and
+// aggregation switches route; hosts carry no handler (callers attach
+// deployserver worlds or traffic sinks).
+func NewFleetTopology(seed uint64, hosts, domains int, aggLink, hostLink LinkConfig) *FleetTopology {
+	if domains < 1 {
+		domains = 1
+	}
+	net := NewNetwork(seed)
+	t := &FleetTopology{Net: net, Core: net.AddNode("core")}
+	for d := 0; d < domains; d++ {
+		agg := net.AddNode("rack" + itoa(d))
+		up := aggLink
+		up.Latency = aggLink.Latency * time.Duration(d+1)
+		net.Connect(t.Core, agg, up)
+		t.Aggs = append(t.Aggs, agg)
+	}
+	for i := 0; i < hosts; i++ {
+		d := i % domains
+		h := net.AddNode("host" + itoa(i))
+		net.Connect(t.Aggs[d], h, hostLink)
+		t.Hosts = append(t.Hosts, h)
+		t.HostDomain = append(t.HostDomain, d)
+		t.hostDelay = append(t.hostDelay, aggLink.Latency*time.Duration(d+1)+hostLink.Latency)
+	}
+	net.ComputeRoutes()
+	t.Core.Handler = RouterHandler(nil)
+	for _, agg := range t.Aggs {
+		agg.Handler = RouterHandler(nil)
+	}
+	return t
+}
+
+// HostDelay is host i's one-way core→host propagation delay — the
+// figure placement delay budgets are checked against.
+func (t *FleetTopology) HostDelay(i int) time.Duration { return t.hostDelay[i] }
+
 // itoa is a tiny allocation-free int formatter for node names.
 func itoa(i int) string {
 	if i == 0 {

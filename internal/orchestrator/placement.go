@@ -1,0 +1,234 @@
+// Package orchestrator is the fleet control plane (ROADMAP item 1): it
+// places user middlebox chains across N simulated edge hosts — each a
+// full deployserver+dataplane world — using the cost/budget heuristic
+// of Bari et al., "On Orchestrating Virtual Network Functions in NFV"
+// (ILP → fast heuristic), with failure-domain anti-affinity, admission
+// control with per-tenant quotas, and then keeps them alive: per-host
+// heartbeats climb a suspect/dead ladder, a dead host's deployments are
+// evacuated through the make-before-break roaming machinery with exact
+// invoicing preserved, and when surviving capacity cannot carry the
+// placed load the cluster browns out — lowest-priority chains shed
+// first, security chains never shed to fail-open.
+//
+// Everything is driven by an injected netsim.Clock and seeded RNGs:
+// identical seeds produce bit-identical placement books.
+package orchestrator
+
+import (
+	"pvn/internal/netsim"
+)
+
+// HostSpec describes one edge host's capacity, locality and price —
+// the inputs to the placement problem.
+type HostSpec struct {
+	Name string
+	// FailureDomain groups hosts that fail together (rack, zone).
+	// Anti-affinity spreads replicas across distinct domains.
+	FailureDomain string
+	// CPUMilli and MemBytes are placement capacity budgets.
+	CPUMilli int64
+	MemBytes int64
+	// DelayUs is the host's network delay from the edge; requests carry
+	// a delay budget it must fit.
+	DelayUs int64
+	// CostPerCPUMilli / CostPerMemMB price placed resources in micro —
+	// the operational-cost objective the heuristic minimizes (Bari §IV).
+	CostPerCPUMilli int64
+	CostPerMemMB    int64
+}
+
+// ChainRequest asks the orchestrator to place one user's middlebox
+// chain.
+type ChainRequest struct {
+	ID     string
+	Tenant string
+	// CPUMilli/MemBytes are the chain's resource demand; DelayBudgetUs
+	// bounds acceptable host delay (0 = unbounded).
+	CPUMilli      int64
+	MemBytes      int64
+	DelayBudgetUs int64
+	// Priority orders brownout shedding: lower priorities shed first.
+	Priority int
+	// Security marks a fail-closed chain: it is never shed to fail-open,
+	// whatever its priority.
+	Security bool
+	// AntiAffinityKey groups requests (a user's replicas, a tenant's
+	// shards) that should land in distinct failure domains.
+	AntiAffinityKey string
+}
+
+// HostView is the placement-time picture of one host. Placers read
+// views; they never touch live hosts.
+type HostView struct {
+	Spec             HostSpec
+	UsedCPU, UsedMem int64
+	Alive            bool
+}
+
+// Fits reports whether the host can take the request within its
+// CPU, memory and delay budgets.
+func (v *HostView) Fits(r ChainRequest) bool {
+	return v.Alive &&
+		v.UsedCPU+r.CPUMilli <= v.Spec.CPUMilli &&
+		v.UsedMem+r.MemBytes <= v.Spec.MemBytes &&
+		(r.DelayBudgetUs == 0 || v.Spec.DelayUs <= r.DelayBudgetUs)
+}
+
+// PlaceContext is everything a placer may consult: the stable-ordered
+// host views and the failure domains already holding the request's
+// anti-affinity group.
+type PlaceContext struct {
+	Hosts []*HostView
+	// UsedDomains are failure domains that already host a chain sharing
+	// the request's AntiAffinityKey.
+	UsedDomains map[string]bool
+}
+
+// Feasible returns the indexes of hosts that can take r, in host
+// order. Anti-affinity is hard while satisfiable: when any fitting
+// host sits in an unused failure domain, only such hosts are feasible.
+// When every fitting host would collide, the constraint spills (soft)
+// and spilled reports it.
+func (ctx *PlaceContext) Feasible(r ChainRequest) (idx []int, spilled bool) {
+	var fits, fresh []int
+	for i, v := range ctx.Hosts {
+		if !v.Fits(r) {
+			continue
+		}
+		fits = append(fits, i)
+		if r.AntiAffinityKey == "" || !ctx.UsedDomains[v.Spec.FailureDomain] {
+			fresh = append(fresh, i)
+		}
+	}
+	if len(fresh) > 0 {
+		return fresh, false
+	}
+	return fits, len(fits) > 0 && r.AntiAffinityKey != ""
+}
+
+// PlacementCost prices placing r on a host: resource cost plus a delay
+// penalty (1 micro per µs of host delay) — the per-placement term of
+// the Bari objective.
+func PlacementCost(spec HostSpec, r ChainRequest) int64 {
+	return r.CPUMilli*spec.CostPerCPUMilli + (r.MemBytes>>20)*spec.CostPerMemMB + spec.DelayUs
+}
+
+// Placer chooses a host index for a request, or reports none fits.
+// Implementations must be deterministic given their own state (the
+// random baseline owns a seeded RNG).
+type Placer interface {
+	Name() string
+	Place(r ChainRequest, ctx *PlaceContext) (int, bool)
+}
+
+// HeuristicPlacer is the Bari-style fast heuristic: among feasible
+// hosts it minimizes placement cost with a load-balance term (scaled
+// utilization after placement), breaking ties on host name so the
+// choice is bit-deterministic.
+type HeuristicPlacer struct{}
+
+// Name implements Placer.
+func (HeuristicPlacer) Name() string { return "heuristic" }
+
+// Place implements Placer.
+func (HeuristicPlacer) Place(r ChainRequest, ctx *PlaceContext) (int, bool) {
+	idx, _ := ctx.Feasible(r)
+	best, bestScore := -1, int64(0)
+	for _, i := range idx {
+		v := ctx.Hosts[i]
+		load := int64(0)
+		if v.Spec.CPUMilli > 0 {
+			load += (v.UsedCPU + r.CPUMilli) * 1000 / v.Spec.CPUMilli
+		}
+		if v.Spec.MemBytes > 0 {
+			load += (v.UsedMem + r.MemBytes) * 1000 / v.Spec.MemBytes
+		}
+		score := PlacementCost(v.Spec, r)*1024 + load
+		if best < 0 || score < bestScore ||
+			(score == bestScore && v.Spec.Name < ctx.Hosts[best].Spec.Name) {
+			best, bestScore = i, score
+		}
+	}
+	return best, best >= 0
+}
+
+// FirstFitPlacer takes the first feasible host in host order — the
+// classic baseline.
+type FirstFitPlacer struct{}
+
+// Name implements Placer.
+func (FirstFitPlacer) Name() string { return "first-fit" }
+
+// Place implements Placer.
+func (FirstFitPlacer) Place(r ChainRequest, ctx *PlaceContext) (int, bool) {
+	idx, _ := ctx.Feasible(r)
+	if len(idx) == 0 {
+		return -1, false
+	}
+	return idx[0], true
+}
+
+// RandomPlacer picks uniformly among feasible hosts from its own
+// seeded stream — the other baseline.
+type RandomPlacer struct{ RNG *netsim.RNG }
+
+// Name implements Placer.
+func (RandomPlacer) Name() string { return "random" }
+
+// Place implements Placer.
+func (p RandomPlacer) Place(r ChainRequest, ctx *PlaceContext) (int, bool) {
+	idx, _ := ctx.Feasible(r)
+	if len(idx) == 0 {
+		return -1, false
+	}
+	return idx[p.RNG.Intn(len(idx))], true
+}
+
+// SimResult summarizes a placement-only simulation.
+type SimResult struct {
+	Placed, Rejected, Spills int
+	TotalCostMicro           int64
+	// Views is the final loaded state of every host, in input order.
+	Views []*HostView
+	// Assigned[i] is the host index request i placed on, -1 if rejected.
+	Assigned []int
+}
+
+// SimulatePlacement drives a placer over a request stream against
+// capacity-tracking host views — no deployments, just the placement
+// problem — so heuristics can be compared at 10⁵⁺ requests. Requests
+// are processed in order; capacity is charged as chains place.
+func SimulatePlacement(specs []HostSpec, reqs []ChainRequest, p Placer) SimResult {
+	res := SimResult{}
+	for _, s := range specs {
+		res.Views = append(res.Views, &HostView{Spec: s, Alive: true})
+	}
+	domainsByKey := map[string]map[string]bool{}
+	ctx := &PlaceContext{Hosts: res.Views}
+	for _, r := range reqs {
+		ctx.UsedDomains = domainsByKey[r.AntiAffinityKey]
+		_, spilled := ctx.Feasible(r)
+		i, ok := p.Place(r, ctx)
+		if !ok {
+			res.Rejected++
+			res.Assigned = append(res.Assigned, -1)
+			continue
+		}
+		res.Assigned = append(res.Assigned, i)
+		v := res.Views[i]
+		v.UsedCPU += r.CPUMilli
+		v.UsedMem += r.MemBytes
+		res.Placed++
+		res.TotalCostMicro += PlacementCost(v.Spec, r)
+		if spilled {
+			res.Spills++
+		}
+		if r.AntiAffinityKey != "" {
+			if domainsByKey[r.AntiAffinityKey] == nil {
+				domainsByKey[r.AntiAffinityKey] = map[string]bool{}
+			}
+			domainsByKey[r.AntiAffinityKey][v.Spec.FailureDomain] = true
+		}
+	}
+	return res
+}

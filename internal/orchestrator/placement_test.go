@@ -1,0 +1,210 @@
+package orchestrator
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pvn/internal/netsim"
+)
+
+// fuzzFleet derives a random fleet from a forked stream.
+func fuzzFleet(rng *netsim.RNG, hosts, domains int) []HostSpec {
+	specs := make([]HostSpec, hosts)
+	for i := range specs {
+		specs[i] = HostSpec{
+			Name:            fmt.Sprintf("h%03d", i),
+			FailureDomain:   fmt.Sprintf("d%d", i%domains),
+			CPUMilli:        1000 + int64(rng.Intn(8))*500,
+			MemBytes:        (64 + int64(rng.Intn(4))*64) << 20,
+			DelayUs:         100 + int64(rng.Intn(10))*50,
+			CostPerCPUMilli: 1 + int64(rng.Intn(3)),
+			CostPerMemMB:    1 + int64(rng.Intn(2)),
+		}
+	}
+	return specs
+}
+
+// fuzzReqs derives a random request stream; roughly a third carry delay
+// budgets and a third join small anti-affinity groups.
+func fuzzReqs(rng *netsim.RNG, n int) []ChainRequest {
+	reqs := make([]ChainRequest, n)
+	for i := range reqs {
+		r := ChainRequest{
+			ID:       fmt.Sprintf("c%04d", i),
+			Tenant:   fmt.Sprintf("t%d", rng.Intn(5)),
+			CPUMilli: 50 + int64(rng.Intn(8))*25,
+			MemBytes: (4 + int64(rng.Intn(4))*4) << 20,
+			Priority: int(rng.Intn(10)),
+		}
+		if rng.Intn(3) == 0 {
+			r.DelayBudgetUs = 150 + int64(rng.Intn(8))*50
+		}
+		if rng.Intn(3) == 0 {
+			r.AntiAffinityKey = fmt.Sprintf("g%d", rng.Intn(8))
+		}
+		reqs[i] = r
+	}
+	return reqs
+}
+
+func placers(seed uint64) []Placer {
+	return []Placer{
+		HeuristicPlacer{},
+		FirstFitPlacer{},
+		RandomPlacer{RNG: netsim.NewRNG(seed)},
+	}
+}
+
+// TestPlacementProperties fuzzes seeded workloads through every placer
+// and asserts the safety properties no placement may violate: CPU and
+// memory capacity never exceeded, per-request delay budgets honored,
+// anti-affinity groups only sharing a domain after spilling.
+func TestPlacementProperties(t *testing.T) {
+	const trials = 200
+	master := netsim.NewRNG(0xE17)
+	for trial := 0; trial < trials; trial++ {
+		rng := master.Fork()
+		specs := fuzzFleet(rng, 3+int(rng.Intn(10)), 1+int(rng.Intn(4)))
+		reqs := fuzzReqs(rng, 40+int(rng.Intn(120)))
+		for _, p := range placers(uint64(trial)) {
+			res := SimulatePlacement(specs, reqs, p)
+			if len(res.Assigned) != len(reqs) {
+				t.Fatalf("trial %d %s: %d assignments for %d requests", trial, p.Name(), len(res.Assigned), len(reqs))
+			}
+			if res.Placed+res.Rejected != len(reqs) {
+				t.Fatalf("trial %d %s: placed %d + rejected %d != %d", trial, p.Name(), res.Placed, res.Rejected, len(reqs))
+			}
+
+			// Capacity: no view over budget.
+			for i, v := range res.Views {
+				if v.UsedCPU > v.Spec.CPUMilli || v.UsedMem > v.Spec.MemBytes {
+					t.Fatalf("trial %d %s: host %d over budget (%d/%d cpu, %d/%d mem)",
+						trial, p.Name(), i, v.UsedCPU, v.Spec.CPUMilli, v.UsedMem, v.Spec.MemBytes)
+				}
+			}
+
+			// Delay budgets: every placed request's host qualifies.
+			groupDomains := map[string]map[string]int{}
+			for i, hi := range res.Assigned {
+				if hi < 0 {
+					continue
+				}
+				r := reqs[i]
+				spec := res.Views[hi].Spec
+				if r.DelayBudgetUs != 0 && spec.DelayUs > r.DelayBudgetUs {
+					t.Fatalf("trial %d %s: request %d (budget %dus) placed on host with %dus delay",
+						trial, p.Name(), i, r.DelayBudgetUs, spec.DelayUs)
+				}
+				if r.AntiAffinityKey != "" {
+					if groupDomains[r.AntiAffinityKey] == nil {
+						groupDomains[r.AntiAffinityKey] = map[string]int{}
+					}
+					groupDomains[r.AntiAffinityKey][spec.FailureDomain]++
+				}
+			}
+
+			// Anti-affinity: domain collisions only exist when spills were
+			// reported (the constraint was unsatisfiable, not ignored).
+			collisions := 0
+			for _, doms := range groupDomains {
+				for _, n := range doms {
+					if n > 1 {
+						collisions += n - 1
+					}
+				}
+			}
+			if collisions > 0 && res.Spills == 0 {
+				t.Fatalf("trial %d %s: %d silent anti-affinity collisions", trial, p.Name(), collisions)
+			}
+			if res.Spills > 0 && collisions == 0 {
+				t.Fatalf("trial %d %s: %d spills reported without a collision", trial, p.Name(), res.Spills)
+			}
+		}
+	}
+}
+
+// TestPlacementDeterminism: same seed, bit-identical result for every
+// placer — including the full per-request assignment vector.
+func TestPlacementDeterminism(t *testing.T) {
+	run := func() []SimResult {
+		rng := netsim.NewRNG(42)
+		specs := fuzzFleet(rng, 12, 4)
+		reqs := fuzzReqs(rng, 300)
+		var out []SimResult
+		for _, p := range placers(7) {
+			out = append(out, SimulatePlacement(specs, reqs, p))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("placement not bit-deterministic across identical runs")
+	}
+}
+
+// TestHeuristicBeatsBaselines: on a heterogeneous-cost fleet the Bari
+// heuristic places at least as many chains as the baselines and spends
+// strictly less per placed chain than random.
+func TestHeuristicBeatsBaselines(t *testing.T) {
+	rng := netsim.NewRNG(2016)
+	specs := fuzzFleet(rng, 16, 4)
+	reqs := fuzzReqs(rng, 600)
+
+	per := map[string]float64{}
+	placed := map[string]int{}
+	for _, p := range placers(2016) {
+		res := SimulatePlacement(specs, reqs, p)
+		if res.Placed == 0 {
+			t.Fatalf("%s placed nothing", p.Name())
+		}
+		per[p.Name()] = float64(res.TotalCostMicro) / float64(res.Placed)
+		placed[p.Name()] = res.Placed
+	}
+	// The Bari objective is operational cost, not bin-packing yield: the
+	// heuristic must be strictly cheaper per placed chain than both
+	// baselines, while placing a comparable number of chains (cost
+	// greed may strand a little capacity the spreaders would use).
+	if per["heuristic"] >= per["random"] || per["heuristic"] >= per["first-fit"] {
+		t.Fatalf("heuristic per-chain cost not below baselines: %v", per)
+	}
+	floor := placed["random"]
+	if placed["first-fit"] > floor {
+		floor = placed["first-fit"]
+	}
+	if placed["heuristic"]*10 < floor*9 {
+		t.Fatalf("heuristic placed %d chains, under 90%% of best baseline %d", placed["heuristic"], floor)
+	}
+}
+
+// TestFeasibleAntiAffinityHardWhenSatisfiable: with a fresh domain
+// available, colliding hosts are excluded outright.
+func TestFeasibleAntiAffinityHardWhenSatisfiable(t *testing.T) {
+	ctx := &PlaceContext{
+		Hosts: []*HostView{
+			{Spec: HostSpec{Name: "a", FailureDomain: "d0", CPUMilli: 100, MemBytes: 100}, Alive: true},
+			{Spec: HostSpec{Name: "b", FailureDomain: "d1", CPUMilli: 100, MemBytes: 100}, Alive: true},
+		},
+		UsedDomains: map[string]bool{"d0": true},
+	}
+	r := ChainRequest{CPUMilli: 10, MemBytes: 10, AntiAffinityKey: "g"}
+	idx, spilled := ctx.Feasible(r)
+	if spilled || len(idx) != 1 || idx[0] != 1 {
+		t.Fatalf("expected only host b, got idx=%v spilled=%v", idx, spilled)
+	}
+
+	// Both domains used: constraint spills, both hosts feasible.
+	ctx.UsedDomains["d1"] = true
+	idx, spilled = ctx.Feasible(r)
+	if !spilled || len(idx) != 2 {
+		t.Fatalf("expected spill over both hosts, got idx=%v spilled=%v", idx, spilled)
+	}
+
+	// Dead hosts are never feasible.
+	ctx.Hosts[1].Alive = false
+	ctx.UsedDomains = nil
+	idx, _ = ctx.Feasible(r)
+	if len(idx) != 1 || idx[0] != 0 {
+		t.Fatalf("dead host stayed feasible: %v", idx)
+	}
+}

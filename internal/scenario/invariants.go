@@ -6,6 +6,7 @@ import (
 	"pvn/internal/auditor"
 	"pvn/internal/core"
 	"pvn/internal/dataplane"
+	"pvn/internal/orchestrator"
 )
 
 // GlobalInvariants — the properties that must hold at every quiet
@@ -17,6 +18,8 @@ import (
 //  4. ledger-complete every roam/failover/corruption left evidence
 //  5. drop-accounting Enqueued == Processed + Dropped + QueueDepth
 //  6. overlay-tamper  no tampered module manifest ever installed
+//  7. placement-book  orchestrator book <=> actual host state (only
+//     when a cluster is attached, Engine.AttachCluster)
 //
 // checkAll runs them between events (strict=false) and at quiesce
 // (strict=true, which additionally demands zero pending usage and
@@ -29,6 +32,27 @@ func (e *Engine) checkAll(strict bool) {
 	e.checkBlackouts()
 	e.checkLedgerComplete()
 	e.checkOverlayTamper()
+	e.checkPlacement()
+}
+
+// AttachCluster folds an orchestrator's placement book into the
+// engine's quiet-point invariants: from now on, every check reconciles
+// the cluster's book against actual host state in both directions
+// (ROADMAP: orchestrator-level invariant in the checker).
+func (e *Engine) AttachCluster(c *orchestrator.Cluster) { e.W.Cluster = c }
+
+// checkPlacement audits the attached cluster's placement book — every
+// placed chain's deployment live on its booked host with the matching
+// cookie, every deployment on a live host owned by a booked chain,
+// capacity sums exact, and no parked security chain holding a session
+// (fail-open). No cluster attached, nothing to check.
+func (e *Engine) checkPlacement() {
+	if e.W.Cluster == nil {
+		return
+	}
+	for _, v := range e.W.Cluster.BookViolations() {
+		e.violate("placement-book", "%s", v)
+	}
 }
 
 // checkDropAccounting audits the sharded dataplane's PR 7 invariant on

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pvn/internal/core"
+	"pvn/internal/orchestrator"
+	"pvn/internal/packet"
+	"pvn/internal/pvnc"
+)
+
+// clusterFor wires a two-host orchestrator onto the engine's clock and
+// places one chain, returning the cluster and the chain's device.
+func clusterFor(t *testing.T, e *Engine) (*orchestrator.Cluster, *core.Device) {
+	t.Helper()
+	c := orchestrator.New(orchestrator.Config{Clock: e.W.Clock, HeartbeatEvery: 20 * time.Second})
+	for i := 0; i < 2; i++ {
+		h, err := orchestrator.NewHost(orchestrator.HostParams{
+			Spec: orchestrator.HostSpec{
+				Name: fmt.Sprintf("edge%d", i), FailureDomain: fmt.Sprintf("rack%d", i),
+				CPUMilli: 2000, MemBytes: 128 << 20, CostPerCPUMilli: 1,
+			},
+			Clock:     e.W.Clock,
+			Supported: map[string]int64{"tcp-proxy": 40},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AddHost(h)
+	}
+	cfg, err := pvnc.Parse(`pvnc edge-std
+owner orch-user
+device 10.9.0.1
+middlebox prox tcp-proxy
+chain fast prox
+policy 10 match proto=tcp dport=80 via=fast action=forward
+policy 0 match any action=forward
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &core.Device{ID: "orch-dev", Addr: packet.MustParseIPv4("10.9.0.1"),
+		Config: cfg, BudgetMicro: 100_000}
+	if _, err := c.Submit(orchestrator.ChainRequest{ID: "orch-chain", Tenant: "t",
+		CPUMilli: 100, MemBytes: 8 << 20, Priority: 5}, dev); err != nil {
+		t.Fatal(err)
+	}
+	return c, dev
+}
+
+// TestPlacementInvariantWiring: an attached cluster's book joins the
+// quiet-point checks — clean while consistent, and a deployment torn
+// down behind the book's back surfaces as a placement-book violation.
+func TestPlacementInvariantWiring(t *testing.T) {
+	e := New(DefaultConfig(3))
+	c, dev := clusterFor(t, e)
+
+	// No cluster attached: divergence is invisible to the checker.
+	e.checkAll(false)
+	if n := len(e.Violations()); n != 0 {
+		t.Fatalf("baseline world not clean: %v", e.Violations())
+	}
+
+	e.AttachCluster(c)
+	e.checkAll(false)
+	if n := len(e.Violations()); n != 0 {
+		t.Fatalf("consistent cluster flagged: %v", e.Violations())
+	}
+
+	// Steal the deployment off its booked host.
+	host := c.Host(c.Placement("orch-chain").Host)
+	if _, _, err := host.Net.Server.Teardown(dev.ID); err != nil {
+		t.Fatal(err)
+	}
+	e.checkAll(false)
+	found := false
+	for _, v := range e.Violations() {
+		if v.Invariant == "placement-book" && strings.Contains(v.Detail, "orch-chain") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("book divergence not reported: %v", e.Violations())
+	}
+}
+
+// TestPlacementInvariantCleanUnderStorm: a consistent cluster riding a
+// real composed storm stays clean at every checkpoint — the invariant
+// adds no false positives.
+func TestPlacementInvariantCleanUnderStorm(t *testing.T) {
+	e := New(DefaultConfig(11))
+	c, _ := clusterFor(t, e)
+	e.AttachCluster(c)
+	c.Start()
+	e.Soak(20_000 * time.Second)
+	c.Stop()
+	if n := len(e.Violations()); n != 0 {
+		t.Fatalf("storm with attached cluster violated invariants:\n%s", e.Report())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"pvn/internal/discovery"
 	"pvn/internal/netsim"
 	"pvn/internal/openflow"
+	"pvn/internal/orchestrator"
 	"pvn/internal/overlay"
 	"pvn/internal/packet"
 	"pvn/internal/pki"
@@ -34,6 +35,10 @@ type World struct {
 	Ledger *auditor.Ledger
 	Pipe   *dataplane.Pipeline
 	Over   *overlayWorld // nil when Config.OverlayNodes == 0
+	// Cluster is an optional fleet control plane riding the same clock
+	// (Engine.AttachCluster); when set, the placement-book invariant
+	// joins every quiet-point check.
+	Cluster *orchestrator.Cluster
 
 	netIdx  map[*core.AccessNetwork]int
 	devByID map[string]*device
