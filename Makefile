@@ -16,7 +16,9 @@ vet:
 # Static analysis. pvnlint first: it is stdlib-only, works offline, and
 # enforces the project contracts (determinism, clock discipline,
 # fail-closed specs, atomic/plain field races, dropped lifecycle
-# errors) that generic linters cannot know about. Then staticcheck when
+# errors, plus the flow-sensitive trustflow/lockorder/goleak suite:
+# wire data verified before sinks, lock ordering, stoppable
+# goroutines) that generic linters cannot know about. Then staticcheck when
 # it is installed (or fetchable), with a `go vet` fallback so
 # offline/minimal environments still get a lint pass instead of a hard
 # failure.
@@ -34,7 +36,10 @@ lint:
 	fi
 
 # Audit trail for lint suppressions: every //lint:allow annotation in
-# the tree with its mandatory reason, one line each, for review.
+# the tree with its mandatory reason, one line each, for review. The
+# flow-sensitive checks use the same mechanism, so deliberate
+# unverified flows and held-across-blocking locks show up here too
+# (pvnlint -json gives the machine-readable finding list CI archives).
 lint-fix-audit:
 	$(GO) run ./cmd/pvnlint -allows ./...
 

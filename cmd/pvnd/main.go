@@ -202,6 +202,7 @@ func serveMain(args []string) {
 	srv := deployserver.New(policy, sw, rt, now)
 	srv.LeaseTTL = *leaseTTL
 	if *leaseTTL > 0 {
+		//lint:allow goleak daemon-lifetime lease sweeper; pvnd has no shutdown path short of process exit
 		go func() {
 			for range time.Tick(*leaseSweep) {
 				if expired := srv.SweepExpired(); len(expired) > 0 {

@@ -10,16 +10,20 @@
 //	pvnlint ./...                 # whole module (the make lint default)
 //	pvnlint ./internal/...        # a subtree
 //	pvnlint -checks nondet ./...  # a subset of analyzers
+//	pvnlint -json ./...           # findings as a JSON array (CI artifact)
 //	pvnlint -list                 # list analyzers and exit
 //	pvnlint -allows ./...         # print every //lint:allow suppression
 //
-// Findings print as file:line:col: [check] message. Exit status: 0
-// clean, 1 findings, 2 usage or load failure. Deliberate exceptions are
-// annotated in source as `//lint:allow <check> <reason>` on the
-// offending line or the line above it; the reason is mandatory.
+// Findings print as file:line:col: [check] message, or with -json as a
+// JSON array of {file,line,col,check,message} objects (an empty array
+// when clean). Exit status: 0 clean, 1 findings, 2 usage or load
+// failure. Deliberate exceptions are annotated in source as
+// `//lint:allow <check> <reason>` on the offending line or the line
+// above it; the reason is mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +38,7 @@ func main() {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	allows := fs.Bool("allows", false, "print every //lint:allow annotation (file:line check reason) instead of linting")
 	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (exit status unchanged)")
 	fs.Parse(os.Args[1:])
 
 	analyzers := lint.Analyzers()
@@ -97,8 +102,27 @@ func main() {
 	}
 
 	diags := lint.Run(lint.DefaultConfig(), pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Printf("%s:%d:%d: [%s] %s\n", relTo(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{relTo(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relTo(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pvnlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

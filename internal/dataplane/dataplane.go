@@ -212,7 +212,7 @@ func (p *Pipeline) Stop() {
 		sh.queue.close()
 	}
 	if p.started {
-		p.wg.Wait()
+		p.wg.Wait() //lint:allow lockorder lifeMu held across the join on purpose: it serializes Stop against Start, and workers never touch lifeMu, so the Wait cannot deadlock
 	}
 }
 

@@ -300,9 +300,15 @@ func E16(p E16Params) *Result {
 	devStore := store.New()
 	devStore.RegisterPublisher("acme", pubKey.Public)
 	fetchModule := func() (installs, rejects, fetched int) {
+		// Forged replica answers never reach the caller: the lookup
+		// verifies each record before the merge and counts the drops
+		// in the looker's BadRecords.
+		before := dev.Stats.BadRecords
 		var got overlay.LookupResult
 		dev.Get(modKey, func(r overlay.LookupResult) { got = r })
 		clock.Run()
+		rejects = dev.Stats.BadRecords - before
+		fetched = rejects
 		for _, rec := range got.Records {
 			fetched++
 			m, err := overlay.DecodeModuleRecord(rec)
@@ -323,7 +329,8 @@ func E16(p E16Params) *Result {
 		fmt.Sprintf("%d installed, %d rejected of %d", installs, rejects, fetched), "-", "-")
 
 	// Every replica turns malicious: swapped config, re-signed under
-	// the attacker's key. Content-address re-verification rejects all.
+	// the attacker's key. The re-signed body no longer matches the
+	// record's content key, so the lookup merge rejects every copy.
 	evilKey, _ := pki.GenerateKey(pki.NewDeterministicRand(p.Seed<<20 + 900005))
 	for _, n := range nodes {
 		n.TamperStored = func(r *overlay.Record) *overlay.Record {

@@ -24,6 +24,20 @@ func testConfig(module string) *Config {
 		MiddleboxPkgs:     map[string]bool{module: true},
 		SupervisorFiles:   map[string]bool{"supervisor.go": true},
 		ProjectPrefix:     module,
+		// Taint scoping for the trustflow mini-module: the module-local
+		// decoder, sinks and wire type play the roles the real config
+		// gives to overlay records and deploy/install entry points.
+		TaintPkgs: map[string]bool{module: true},
+		TaintSources: map[string]bool{
+			module + ".DecodeMsg": true,
+		},
+		TaintSinks: map[string]bool{
+			module + ".Deploy":        true,
+			module + ".Table.Install": true,
+		},
+		WireTypes: map[string]bool{
+			module + ".Record": true,
+		},
 	}
 }
 
@@ -108,6 +122,9 @@ func TestClockParamGolden(t *testing.T)    { runGolden(t, "clockparam", ClockPar
 func TestFailPolicyGolden(t *testing.T)    { runGolden(t, "failpolicy", FailPolicyAnalyzer) }
 func TestUnlockedFieldGolden(t *testing.T) { runGolden(t, "unlockedfield", UnlockedFieldAnalyzer) }
 func TestErrDropGolden(t *testing.T)       { runGolden(t, "errdrop", ErrDropAnalyzer) }
+func TestTrustFlowGolden(t *testing.T)     { runGolden(t, "trustflow", TrustFlowAnalyzer) }
+func TestLockOrderGolden(t *testing.T)     { runGolden(t, "lockorder", LockOrderAnalyzer) }
+func TestGoLeakGolden(t *testing.T)        { runGolden(t, "goleak", GoLeakAnalyzer) }
 
 // TestMalformedAllow: a reasonless //lint:allow suppresses nothing and
 // is itself reported; the comment-above form with a reason suppresses.

@@ -1,0 +1,145 @@
+package lint
+
+// goleak flags goroutines launched with no reachable stop path. A
+// goroutine whose body loops forever — `for {}` with no return, break,
+// context check or stop/done/quit channel in the loop — outlives every
+// owner and leaks for the process lifetime. The canonical offenders:
+//
+//	go func() { for range time.Tick(d) { … } }()   // Tick never closes
+//	go func() { for { work() } }()                 // nothing stops it
+//
+// Acceptable shapes: loops that return/break on a condition, select
+// with a <-ctx.Done()/<-stop/<-done case, `for range ch` over a
+// closable channel, or any identifier in the loop whose name signals a
+// shutdown check. Named-function launches (`go s.loop()`) resolve one
+// level deep through the module index.
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+var GoLeakAnalyzer = &Analyzer{
+	Name:      "goleak",
+	Doc:       "every goroutine needs a reachable stop path: ctx/done channel, stop flag, or a terminating loop",
+	RunModule: runGoLeak,
+}
+
+// stopNameRe matches identifiers that plausibly participate in a
+// shutdown handshake. Deliberately broad: goleak's job is to catch
+// goroutines with no story at all, not to audit the story.
+var stopNameRe = regexp.MustCompile(`(?i)stop|done|quit|clos|shut|exit|cancel|ctx|kill`)
+
+func runGoLeak(mp *ModulePass) {
+	idx := mp.Funcs()
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := launchedBody(pkg, g.Call, idx)
+				if body == nil {
+					return true
+				}
+				if loop := stoplessLoop(pkg, body); loop != nil {
+					if tickLoop(pkg, loop) {
+						mp.Reportf(pkg, g.Pos(), "goroutine ranges over time.Tick, which can never be stopped; use time.NewTicker with a Stop call and a done channel")
+					} else {
+						mp.Reportf(pkg, g.Pos(), "goroutine loops forever with no reachable stop path (no return/break, done/stop channel, or context check in the loop)")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// launchedBody resolves what the go statement runs: a function literal
+// inline, or a named project function/method one level deep.
+func launchedBody(pkg *Package, call *ast.CallExpr, idx map[*types.Func]*FuncDecl) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if d, ok := idx[fn]; ok && d.Decl.Body != nil {
+		return d.Decl.Body
+	}
+	return nil
+}
+
+// stoplessLoop returns the first loop in body that spins forever with
+// no exit signal, or nil. Nested function literals and go statements
+// are other goroutines' business.
+func stoplessLoop(pkg *Package, body *ast.BlockStmt) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopCanStop(pkg, n.Body) {
+				found = n
+				return false
+			}
+		case *ast.RangeStmt:
+			// `for range ch` ends when the channel closes — except
+			// time.Tick's channel, which never does.
+			if tickLoop(pkg, n) && !loopCanStop(pkg, n.Body) {
+				found = n
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopCanStop scans a loop body for any exit or shutdown signal.
+func loopCanStop(pkg *Package, body *ast.BlockStmt) bool {
+	can := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if can {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ReturnStmt:
+			can = true
+		case *ast.BranchStmt:
+			switch n.Tok.String() {
+			case "break", "goto":
+				can = true
+			}
+		case *ast.Ident:
+			if stopNameRe.MatchString(n.Name) {
+				can = true
+			}
+		}
+		return !can
+	})
+	return can
+}
+
+// tickLoop reports whether the loop ranges over time.Tick(...).
+func tickLoop(pkg *Package, loop ast.Stmt) bool {
+	r, ok := loop.(*ast.RangeStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(r.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(pkg.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Tick"
+}

@@ -24,8 +24,10 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -56,12 +58,16 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. Per-package checks implement Run;
+// whole-module checks (cross-package call graphs, the lock acquisition
+// graph) implement RunModule instead and see every package at once.
 type Analyzer struct {
 	Name string
 	// Doc is the one-line rule statement (pvnlint -list prints it).
 	Doc string
 	Run func(*Pass)
+	// RunModule, if set, runs once over all loaded packages.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (analyzer, package) run and collects its findings.
@@ -76,6 +82,64 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.diags = append(p.diags, Diagnostic{
 		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries one module-level analyzer run over all packages.
+type ModulePass struct {
+	Check  string
+	Config *Config
+	Pkgs   []*Package
+
+	fnOnce sync.Once
+	fns    map[*types.Func]*FuncDecl
+	diags  []Diagnostic
+}
+
+// FuncDecl pairs a declared function with the package it lives in —
+// the module-wide function index for cross-package analyzers.
+type FuncDecl struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// Fset returns the FileSet shared by all loaded packages.
+func (p *ModulePass) Fset() *token.FileSet {
+	if len(p.Pkgs) == 0 {
+		return token.NewFileSet()
+	}
+	return p.Pkgs[0].Fset
+}
+
+// Funcs lazily builds the module-wide function index. The loader
+// shares one type universe across a Load call, so *types.Func identity
+// holds across packages.
+func (p *ModulePass) Funcs() map[*types.Func]*FuncDecl {
+	p.fnOnce.Do(func() {
+		p.fns = map[*types.Func]*FuncDecl{}
+		for _, pkg := range p.Pkgs {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						p.fns[fn] = &FuncDecl{Pkg: pkg, Decl: fd}
+					}
+				}
+			}
+		}
+	})
+	return p.fns
+}
+
+// Reportf records a finding positioned in pkg's file set.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     pkg.Fset.Position(pos),
 		Check:   p.Check,
 		Message: fmt.Sprintf(format, args...),
 	})
@@ -97,6 +161,43 @@ type Config struct {
 	// ProjectPrefix is the module path; errdrop only polices methods
 	// defined in packages under it.
 	ProjectPrefix string
+
+	// TaintPkgs are import paths analyzed by trustflow — the packages
+	// that handle data from the wire, overlay replicas or providers.
+	TaintPkgs map[string]bool
+	// TaintSources are fully qualified functions ("pkg/path.Func" or
+	// "pkg/path.Type.Method") whose results are untrusted.
+	TaintSources map[string]bool
+	// TaintFieldSources are struct fields ("pkg/path.Type.Field")
+	// whose reads yield untrusted data (e.g. netsim message payloads).
+	TaintFieldSources map[string]bool
+	// TaintSinks are functions that must never receive tainted
+	// arguments: deploy, install, rule-table mutation, compiles.
+	TaintSinks map[string]bool
+	// WireTypes are named types presumed tainted when they arrive as
+	// parameters of exported functions or function literals.
+	WireTypes map[string]bool
+	// SanitizerPattern matches project function names that vouch for
+	// their receiver/arguments (default `(?i)^(verify|valid)`, which
+	// covers Verify*, Validate*, and the unexported valid/validate
+	// helpers).
+	SanitizerPattern string
+
+	sanOnce sync.Once
+	sanRe   *regexp.Regexp
+}
+
+// sanitizerRe compiles SanitizerPattern once (safe under the parallel
+// driver).
+func (c *Config) sanitizerRe() *regexp.Regexp {
+	c.sanOnce.Do(func() {
+		pat := c.SanitizerPattern
+		if pat == "" {
+			pat = `(?i)^(verify|valid)`
+		}
+		c.sanRe = regexp.MustCompile(pat)
+	})
+	return c.sanRe
 }
 
 // DefaultConfig is the contract for this repository: the packages whose
@@ -124,6 +225,42 @@ func DefaultConfig() *Config {
 		},
 		SupervisorFiles: map[string]bool{"supervisor.go": true},
 		ProjectPrefix:   "pvn",
+		TaintPkgs: map[string]bool{
+			"pvn/internal/overlay":       true,
+			"pvn/internal/discovery":     true,
+			"pvn/internal/deployserver":  true,
+			"pvn/internal/orchestrator":  true,
+			"pvn/internal/store":         true,
+			"pvn/internal/pvnc":          true,
+			"pvn/internal/sdncontroller": true,
+		},
+		TaintSources: map[string]bool{
+			"pvn/internal/overlay.DecodeEnvelope": true,
+			"pvn/internal/store.DecodeModule":     true,
+			"pvn/internal/pvnc.Parse":             true,
+			"pvn/internal/openflow.ReadMessage":   true,
+			"pvn/internal/pki.DecodeCertificate":  true,
+			"pvn/internal/pki.DecodeChain":        true,
+		},
+		TaintFieldSources: map[string]bool{
+			// FaultInjector-delivered control traffic arrives here.
+			"pvn/internal/netsim.Message.Payload": true,
+		},
+		TaintSinks: map[string]bool{
+			"pvn/internal/openflow.FlowMod.Apply":           true,
+			"pvn/internal/openflow.FlowTable.Install":       true,
+			"pvn/internal/openflow.Switch.AddMeter":         true,
+			"pvn/internal/dataplane.ShardedTable.Install":   true,
+			"pvn/internal/pvnc.Compile":                     true,
+			"pvn/internal/pvnc.TemplateCache.CompileShared": true,
+			"pvn/internal/middlebox.Runtime.Instantiate":    true,
+			"pvn/internal/middlebox.Runtime.BuildChainIn":   true,
+			"pvn/internal/deployserver.Server.HandleDeploy": true,
+		},
+		WireTypes: map[string]bool{
+			"pvn/internal/overlay.Record":   true,
+			"pvn/internal/overlay.Envelope": true,
+		},
 	}
 }
 
@@ -135,27 +272,77 @@ func Analyzers() []*Analyzer {
 		FailPolicyAnalyzer,
 		UnlockedFieldAnalyzer,
 		ErrDropAnalyzer,
+		TrustFlowAnalyzer,
+		LockOrderAnalyzer,
+		GoLeakAnalyzer,
 	}
 }
 
 // Run executes the analyzers over the packages, applies `//lint:allow`
 // suppressions, and returns the surviving diagnostics sorted by
 // position. Malformed annotations surface as "lint" diagnostics.
+//
+// Per-package passes run concurrently (one worker per CPU); module
+// analyzers run concurrently with each other after the allow set is
+// collected. Suppressions are filtered against the global set — keys
+// are (file, line, check), so cross-package module findings suppress
+// exactly like package ones.
 func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	allows := allowSet{}
 	for _, pkg := range pkgs {
-		allows, bad := suppressions(pkg)
+		set, bad := suppressions(pkg)
 		diags = append(diags, bad...)
-		for _, a := range analyzers {
-			pass := &Pass{Check: a.Name, Config: cfg, Pkg: pkg}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if !allows.covers(d) {
-					diags = append(diags, d)
-				}
+		for k := range set {
+			allows[k] = true
+		}
+	}
+
+	var mu sync.Mutex
+	keep := func(found []Diagnostic) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, d := range found {
+			if !allows.covers(d) {
+				diags = append(diags, d)
 			}
 		}
 	}
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, pkg := range pkgs {
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, a := range analyzers {
+				if a.Run == nil {
+					continue
+				}
+				pass := &Pass{Check: a.Name, Config: cfg, Pkg: pkg}
+				a.Run(pass)
+				keep(pass.diags)
+			}
+		}(pkg)
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(a *Analyzer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mp := &ModulePass{Check: a.Name, Config: cfg, Pkgs: pkgs}
+			a.RunModule(mp)
+			keep(mp.diags)
+		}(a)
+	}
+	wg.Wait()
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -1,0 +1,627 @@
+package lint
+
+// lockorder builds the repo-wide mutex acquisition graph and enforces
+// three concurrency contracts:
+//
+//  1. No lock-order cycles: if any code path acquires A then B, no
+//     path may acquire B then A (classic ABBA deadlock).
+//  2. No mutex held across a blocking operation: channel send/receive,
+//     select without default, WaitGroup.Wait, or a middlebox
+//     Process/ProcessBatch call (directly or through one of the
+//     function's callees, transitively).
+//  3. sync.Cond.Wait appears inside its for-loop idiom — a bare Wait
+//     races its predicate.
+//
+// Lock identity is the declared variable (struct field or package
+// var): every deployserver.Server holds "the same" Server.mu. That is
+// the right granularity for ordering contracts and mirrors how the
+// code comments document lock order.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var LockOrderAnalyzer = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "no lock-order cycles, no mutex held across blocking ops (chan send/recv, select, Wait, middlebox Process), cond.Wait only inside its for loop",
+	RunModule: runLockOrder,
+}
+
+// lockFn is one function body with its package context.
+type lockFn struct {
+	pkg  *Package
+	name string
+	fn   *types.Func
+	body *ast.BlockStmt
+}
+
+// lockFacts are one function's direct concurrency facts, computed
+// syntactically (go statements and function literals excluded — they
+// run on other goroutines).
+type lockFacts struct {
+	acquires map[*types.Var]token.Pos
+	blockPos token.Pos
+	blockOp  string
+	calls    []*types.Func
+}
+
+// transLockFacts closes lockFacts over the module call graph.
+type transLockFacts struct {
+	acquires map[*types.Var]token.Pos
+	blockPos token.Pos
+	blockOp  string
+}
+
+type lockEdge struct{ from, to *types.Var }
+
+type lockEdgeInfo struct {
+	pos    token.Pos // where `to` is taken while `from` is held
+	pkg    *Package
+	fromAt token.Pos
+}
+
+type lockOrder struct {
+	mp    *ModulePass
+	fns   []lockFn
+	byFn  map[*types.Func]*lockFacts
+	trans map[*types.Func]*transLockFacts
+	edges map[lockEdge]lockEdgeInfo
+}
+
+func runLockOrder(mp *ModulePass) {
+	lo := &lockOrder{
+		mp:    mp,
+		byFn:  map[*types.Func]*lockFacts{},
+		trans: map[*types.Func]*transLockFacts{},
+		edges: map[lockEdge]lockEdgeInfo{},
+	}
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				lo.fns = append(lo.fns, lockFn{pkg, fd.Name.Name, fn, fd.Body})
+			}
+		}
+	}
+	for _, e := range lo.fns {
+		lo.byFn[e.fn] = directLockFacts(e.pkg, e.body)
+	}
+	for _, e := range lo.fns {
+		lo.transitive(e.fn, map[*types.Func]bool{})
+	}
+	for _, e := range lo.fns {
+		lo.checkFunc(e.pkg, e.body)
+		// Function literals are separate goroutine/callback bodies:
+		// check them with an empty held set of their own.
+		ast.Inspect(e.body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lo.checkBody(e.pkg, lit.Body)
+			}
+			return true
+		})
+		lo.condWaitIdiom(e.pkg, e.body)
+	}
+	lo.reportCycles()
+}
+
+// directLockFacts scans one body (excluding go/func-literal subtrees)
+// for lock acquisitions, blocking ops and project callees.
+func directLockFacts(pkg *Package, body *ast.BlockStmt) *lockFacts {
+	facts := &lockFacts{acquires: map[*types.Var]token.Pos{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			facts.block(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				facts.block(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			fn := calleeOf(pkg.Info, n)
+			if fn == nil {
+				return true
+			}
+			switch kindOfLockCall(fn) {
+			case lockAcquire:
+				if v := lockVarOf(pkg.Info, n); v != nil {
+					if _, ok := facts.acquires[v]; !ok {
+						facts.acquires[v] = n.Pos()
+					}
+				}
+			case lockBlockingWait:
+				facts.block(n.Pos(), fn.Name())
+			}
+			if isProcessCall(fn) {
+				facts.block(n.Pos(), "middlebox "+fn.Name())
+			}
+			if fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), "pvn") {
+				facts.calls = append(facts.calls, fn)
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+func (f *lockFacts) block(pos token.Pos, op string) {
+	if f.blockPos == 0 {
+		f.blockPos, f.blockOp = pos, op
+	}
+}
+
+// transitive memoizes the call-graph closure of acquires/blocks.
+func (lo *lockOrder) transitive(fn *types.Func, visiting map[*types.Func]bool) *transLockFacts {
+	if t, ok := lo.trans[fn]; ok {
+		return t
+	}
+	if visiting[fn] {
+		return &transLockFacts{acquires: map[*types.Var]token.Pos{}}
+	}
+	visiting[fn] = true
+	t := &transLockFacts{acquires: map[*types.Var]token.Pos{}}
+	if d := lo.byFn[fn]; d != nil {
+		for v, pos := range d.acquires {
+			t.acquires[v] = pos
+		}
+		t.blockPos, t.blockOp = d.blockPos, d.blockOp
+		for _, callee := range d.calls {
+			if callee == fn {
+				continue
+			}
+			ct := lo.transitive(callee, visiting)
+			for v, pos := range ct.acquires {
+				if _, ok := t.acquires[v]; !ok {
+					t.acquires[v] = pos
+				}
+			}
+			if t.blockPos == 0 && ct.blockPos != 0 {
+				t.blockPos = ct.blockPos
+				t.blockOp = fmt.Sprintf("%s (via %s)", ct.blockOp, callee.Name())
+			}
+		}
+	}
+	delete(visiting, fn)
+	lo.trans[fn] = t
+	return t
+}
+
+// heldState maps each held lock to its acquisition site.
+type heldState map[*types.Var]token.Pos
+
+func cloneHeld(h heldState) heldState {
+	out := make(heldState, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// joinHeld intersects: a lock counts as held at a join only if held on
+// every path (must-analysis; union would flood false positives after
+// branches that conditionally unlock).
+func joinHeld(dst, src heldState) (heldState, bool) {
+	changed := false
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func (lo *lockOrder) checkFunc(pkg *Package, body *ast.BlockStmt) {
+	lo.checkBody(pkg, body)
+}
+
+// checkBody runs the held-set dataflow over one body and reports
+// blocking-under-lock plus records acquisition-order edges.
+func (lo *lockOrder) checkBody(pkg *Package, body *ast.BlockStmt) {
+	nonBlockingComm := commsOfDefaultSelects(body)
+	g := buildCFG(body)
+	transfer := func(report bool) func(b *cfgBlock, h heldState) heldState {
+		return func(b *cfgBlock, h heldState) heldState {
+			for _, n := range b.nodes {
+				lo.nodeHeld(pkg, h, n, nonBlockingComm, report)
+			}
+			return h
+		}
+	}
+	in := solveForward(g, heldState{}, cloneHeld, joinHeld, transfer(false))
+	for _, b := range g.blocks {
+		h, ok := in[b]
+		if !ok {
+			continue
+		}
+		h = cloneHeld(h)
+		for _, n := range b.nodes {
+			lo.nodeHeld(pkg, h, n, nonBlockingComm, true)
+		}
+	}
+}
+
+// nodeHeld transfers one CFG node over the held set.
+func (lo *lockOrder) nodeHeld(pkg *Package, h heldState, n cfgNode, nonBlockingComm map[ast.Node]bool, report bool) {
+	var root ast.Node
+	switch {
+	case n.Cond != nil:
+		root = n.Cond
+	case n.Stmt != nil:
+		root = n.Stmt
+	default:
+		return
+	}
+	if g, ok := root.(*ast.GoStmt); ok {
+		// The spawned call's args evaluate here, but the call runs
+		// elsewhere; only scan argument expressions.
+		for _, a := range g.Call.Args {
+			lo.walkHeld(pkg, h, a, nonBlockingComm, report)
+		}
+		return
+	}
+	if d, ok := root.(*ast.DeferStmt); ok {
+		// Deferred unlocks release at return; model the lock as held
+		// for the rest of the function (that is the truth while the
+		// body runs). Other deferred calls are ignored.
+		_ = d
+		return
+	}
+	if r, ok := root.(*ast.RangeStmt); ok {
+		if tv, ok := pkg.Info.Types[r.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				lo.blockingUnder(pkg, h, r.Pos(), "range over channel", report)
+			}
+		}
+		lo.walkHeld(pkg, h, r.X, nonBlockingComm, report)
+		return
+	}
+	lo.walkHeld(pkg, h, root, nonBlockingComm, report)
+}
+
+func (lo *lockOrder) walkHeld(pkg *Package, h heldState, root ast.Node, nonBlockingComm map[ast.Node]bool, report bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if !nonBlockingComm[n] {
+				lo.blockingUnder(pkg, h, n.Pos(), "channel send", report)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonBlockingComm[n] {
+				lo.blockingUnder(pkg, h, n.Pos(), "channel receive", report)
+			}
+		case *ast.CallExpr:
+			lo.callHeld(pkg, h, n, report)
+		}
+		return true
+	})
+}
+
+func (lo *lockOrder) callHeld(pkg *Package, h heldState, call *ast.CallExpr, report bool) {
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	switch kindOfLockCall(fn) {
+	case lockAcquire:
+		v := lockVarOf(pkg.Info, call)
+		if v == nil {
+			return
+		}
+		for held, at := range h {
+			if held == v {
+				continue
+			}
+			e := lockEdge{held, v}
+			if _, ok := lo.edges[e]; !ok {
+				lo.edges[e] = lockEdgeInfo{pos: call.Pos(), pkg: pkg, fromAt: at}
+			}
+		}
+		h[v] = call.Pos()
+		return
+	case lockRelease:
+		if v := lockVarOf(pkg.Info, call); v != nil {
+			delete(h, v)
+		}
+		return
+	case lockBlockingWait:
+		lo.blockingUnder(pkg, h, call.Pos(), fn.Name(), report)
+		return
+	case lockCondWait:
+		// Cond.Wait releases its own mutex; the idiom check handles it.
+		return
+	}
+	if isProcessCall(fn) {
+		lo.blockingUnder(pkg, h, call.Pos(), "middlebox "+fn.Name(), report)
+		return
+	}
+	// Project callee: fold in its transitive facts.
+	if t, ok := lo.trans[fn]; ok && len(h) > 0 {
+		for v, pos := range t.acquires {
+			for held := range h {
+				if held == v {
+					continue
+				}
+				e := lockEdge{held, v}
+				if _, okE := lo.edges[e]; !okE {
+					lo.edges[e] = lockEdgeInfo{pos: pos, pkg: pkg, fromAt: h[held]}
+				}
+			}
+		}
+		if t.blockPos != 0 {
+			lo.blockingUnder(pkg, h, call.Pos(), fmt.Sprintf("call to %s, which may block on %s", fn.Name(), t.blockOp), report)
+		}
+	}
+}
+
+func (lo *lockOrder) blockingUnder(pkg *Package, h heldState, pos token.Pos, op string, report bool) {
+	if !report || len(h) == 0 {
+		return
+	}
+	names := make([]string, 0, len(h))
+	for v := range h {
+		names = append(names, lockLabel(lo.mp.Config, v))
+	}
+	sort.Strings(names)
+	lo.mp.Reportf(pkg, pos, "%s held across blocking %s; release the lock first or document the serialization contract", strings.Join(names, ", "), op)
+}
+
+// commsOfDefaultSelects collects send/recv nodes that belong to a
+// select with a default case — those never block.
+func commsOfDefaultSelects(body *ast.BlockStmt) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			out[cc.Comm] = true
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					out[u] = true
+				}
+				if s, ok := m.(*ast.SendStmt); ok {
+					out[s] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// condWaitIdiom flags sync.Cond.Wait calls outside a for loop.
+func (lo *lockOrder) condWaitIdiom(pkg *Package, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pkg.Info, call)
+		if fn == nil || kindOfLockCall(fn) != lockCondWait {
+			return true
+		}
+		inFor := false
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inFor = true
+			case *ast.FuncLit:
+				i = -1 // loop in an enclosing function doesn't guard this Wait
+			}
+			if inFor {
+				break
+			}
+		}
+		if !inFor {
+			lo.mp.Reportf(pkg, call.Pos(), "cond.Wait outside a for loop: the predicate must be re-checked after every wakeup (for !cond { c.Wait() })")
+		}
+		return true
+	})
+}
+
+// reportCycles walks the acquisition graph for cycles and reports each
+// once, at the edge that closes it.
+func (lo *lockOrder) reportCycles() {
+	adj := map[*types.Var][]*types.Var{}
+	for e := range lo.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for from := range adj {
+		sort.Slice(adj[from], func(i, j int) bool {
+			return lockLabel(lo.mp.Config, adj[from][i]) < lockLabel(lo.mp.Config, adj[from][j])
+		})
+	}
+	nodes := make([]*types.Var, 0, len(adj))
+	for v := range adj {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return lockLabel(lo.mp.Config, nodes[i]) < lockLabel(lo.mp.Config, nodes[j])
+	})
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*types.Var]int{}
+	var path []*types.Var
+	reported := map[lockEdge]bool{}
+	var dfs func(v *types.Var)
+	dfs = func(v *types.Var) {
+		color[v] = gray
+		path = append(path, v)
+		for _, w := range adj[v] {
+			if color[w] == gray {
+				// Back edge closes a cycle; report it at the edge site.
+				e := lockEdge{v, w}
+				if !reported[e] {
+					reported[e] = true
+					info := lo.edges[e]
+					var names []string
+					start := 0
+					for i, p := range path {
+						if p == w {
+							start = i
+							break
+						}
+					}
+					for _, p := range path[start:] {
+						names = append(names, lockLabel(lo.mp.Config, p))
+					}
+					names = append(names, lockLabel(lo.mp.Config, w))
+					lo.mp.Reportf(info.pkg, info.pos, "lock order cycle: %s (this acquisition inverts the established order)", strings.Join(names, " → "))
+				}
+				continue
+			}
+			if color[w] == white {
+				dfs(w)
+			}
+		}
+		path = path[:len(path)-1]
+		color[v] = black
+	}
+	for _, v := range nodes {
+		if color[v] == white {
+			dfs(v)
+		}
+	}
+}
+
+type lockCallKind int
+
+const (
+	lockOther lockCallKind = iota
+	lockAcquire
+	lockRelease
+	lockBlockingWait
+	lockCondWait
+)
+
+func kindOfLockCall(fn *types.Func) lockCallKind {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOther
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockOther
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return lockOther
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		switch fn.Name() {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			return lockAcquire
+		case "Unlock", "RUnlock":
+			return lockRelease
+		}
+	case "WaitGroup":
+		if fn.Name() == "Wait" {
+			return lockBlockingWait
+		}
+	case "Cond":
+		if fn.Name() == "Wait" {
+			return lockCondWait
+		}
+	}
+	return lockOther
+}
+
+// isProcessCall reports a middlebox packet-processing call — the
+// contract says no lock may be held across one (a box can stall).
+func isProcessCall(fn *types.Func) bool {
+	if fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "pvn") {
+		return false
+	}
+	if fn.Name() != "Process" && fn.Name() != "ProcessBatch" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// lockVarOf resolves the mutex operand of `x.mu.Lock()` to the
+// declared variable (field or package/local var).
+func lockVarOf(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			v, _ := s.Obj().(*types.Var)
+			return v
+		}
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// lockLabel renders a lock variable for messages: "pkg.Type.mu" for
+// fields, "pkg.mu" for package vars, "mu" for locals.
+func lockLabel(cfg *Config, v *types.Var) string {
+	if v.Pkg() == nil {
+		return v.Name()
+	}
+	pkg := v.Pkg().Path()
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	if v.IsField() {
+		if qf := fieldOwner(v); qf != "" {
+			return pkg + "." + qf + v.Name()
+		}
+		return pkg + "." + v.Name()
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return pkg + "." + v.Name()
+	}
+	return v.Name()
+}

@@ -11,6 +11,21 @@ import (
 // violation or a missing annotation — fix the code, or annotate it and
 // defend the reason in review.
 func TestRepoCleanAtHead(t *testing.T) {
+	// The sweep is only as strong as its analyzer set: all eight must
+	// be registered, the flow-sensitive ones included, or this test
+	// silently weakens.
+	byName := map[string]bool{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = true
+	}
+	for _, name := range []string{
+		"nondet", "clockparam", "failpolicy", "unlockedfield", "errdrop",
+		"trustflow", "lockorder", "goleak",
+	} {
+		if !byName[name] {
+			t.Fatalf("analyzer %q missing from Analyzers()", name)
+		}
+	}
 	root, module, err := FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)

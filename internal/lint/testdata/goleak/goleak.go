@@ -1,0 +1,82 @@
+// Package goleak is pvnlint golden testdata: goroutines launched with
+// and without a reachable stop path.
+package goleak
+
+import "time"
+
+// Worker owns a background loop and its shutdown plumbing.
+type Worker struct {
+	jobs chan func()
+	quit chan struct{}
+}
+
+func step() {}
+
+// SpinForever launches a goroutine nothing can stop.
+func SpinForever() {
+	go func() { // want `goroutine loops forever with no reachable stop path`
+		for {
+			step()
+		}
+	}()
+}
+
+// TickForever ranges over time.Tick, whose channel never closes.
+func TickForever(d time.Duration) {
+	go func() { // want `goroutine ranges over time\.Tick, which can never be stopped`
+		for range time.Tick(d) {
+			step()
+		}
+	}()
+}
+
+// Run launches a named stopless loop: resolved one level deep through
+// the module function index and reported at the go statement.
+func (w *Worker) Run() {
+	go w.loop() // want `goroutine loops forever with no reachable stop path`
+}
+
+func (w *Worker) loop() {
+	for {
+		step()
+	}
+}
+
+// RunStoppable drains jobs until quit signals: clean.
+func (w *Worker) RunStoppable() {
+	go func() {
+		for {
+			select {
+			case j := <-w.jobs:
+				j()
+			case <-w.quit:
+				return
+			}
+		}
+	}()
+}
+
+// RangeOverClosable ends when the producer closes the channel: clean.
+func RangeOverClosable(ch chan int) {
+	go func() {
+		for range ch {
+			step()
+		}
+	}()
+}
+
+// TickStoppable uses time.NewTicker plus a stop channel: clean.
+func TickStoppable(d time.Duration, stop chan struct{}) {
+	go func() {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				step()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,76 @@
+// Package lockorder is pvnlint golden testdata: a two-mutex
+// acquisition cycle, locks held across blocking operations, and
+// cond.Wait outside its predicate loop.
+package lockorder
+
+import "sync"
+
+// S owns two mutexes acquired in opposite orders by two methods, a
+// channel, and a condition variable.
+type S struct {
+	a    sync.Mutex
+	b    sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	ok   bool
+}
+
+// LockAB establishes the a → b order.
+func (s *S) LockAB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+// LockBA inverts it: the b → a edge closes the cycle.
+func (s *S) LockBA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock() // want `lock order cycle: lockorder\.S\.a → lockorder\.S\.b → lockorder\.S\.a`
+	defer s.a.Unlock()
+}
+
+// SendLocked blocks on a channel send while holding mu: anything that
+// must take mu to drain the channel deadlocks against it.
+func (s *S) SendLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `lockorder\.S\.mu held across blocking channel send`
+}
+
+// SendUnlocked releases before the send: clean.
+func (s *S) SendUnlocked(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// RecvLocked blocks on a receive while holding mu via an unexported
+// helper — the blocking op is found transitively.
+func (s *S) RecvLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recv() // want `lockorder\.S\.mu held across blocking call to recv, which may block on channel receive`
+}
+
+func (s *S) recv() int { return <-s.ch }
+
+// WaitNoLoop wakes once and assumes the predicate holds: a spurious
+// wakeup proceeds on a false predicate.
+func (s *S) WaitNoLoop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Wait() // want `cond\.Wait outside a for loop`
+}
+
+// WaitLoop re-checks the predicate after every wakeup: the canonical
+// idiom, clean.
+func (s *S) WaitLoop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.ok {
+		s.cond.Wait()
+	}
+}

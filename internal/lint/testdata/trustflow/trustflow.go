@@ -1,0 +1,113 @@
+// Package trustflow is pvnlint golden testdata: wire-decoded data
+// reaching deploy/install/store sinks with and without a Verify
+// sanitizer on the path.
+package trustflow
+
+import "errors"
+
+// Record is a wire type (Config.WireTypes): presumed tainted when it
+// arrives as a parameter of an exported function.
+type Record struct {
+	Body []byte
+	Sig  []byte
+}
+
+// Verify is the sanitizer: after it succeeds the record is trusted.
+func (r *Record) Verify() error {
+	if len(r.Sig) == 0 {
+		return errors.New("unsigned")
+	}
+	return nil
+}
+
+// Msg is the decoded form of a wire message.
+type Msg struct {
+	Rule string
+	Sig  []byte
+}
+
+// Verify vouches for a decoded message.
+func (m *Msg) Verify() error {
+	if len(m.Sig) == 0 {
+		return errors.New("unsigned")
+	}
+	return nil
+}
+
+// DecodeMsg is a taint source (Config.TaintSources).
+func DecodeMsg(b []byte) (*Msg, error) {
+	if len(b) == 0 {
+		return nil, errors.New("empty")
+	}
+	return &Msg{Rule: string(b)}, nil
+}
+
+// Deploy is a sink (Config.TaintSinks).
+func Deploy(rule string) { _ = rule }
+
+// Table is a rule table; Install is a sink (Config.TaintSinks).
+type Table struct{ rules []string }
+
+func (t *Table) Install(rule string) { t.rules = append(t.rules, rule) }
+
+// add stores into the receiver without being a configured sink;
+// summaries carry the store site to every caller.
+func (t *Table) add(rule string) {
+	t.rules = append(t.rules, rule)
+}
+
+// defaultRules is package-level state: stores into it are sinks.
+var defaultRules []string
+
+// BadDeploy ships a decoded message straight to the deploy sink.
+func BadDeploy(b []byte) {
+	m, err := DecodeMsg(b)
+	if err != nil {
+		return
+	}
+	Deploy(m.Rule) // want `unverified data flows into sink Deploy`
+}
+
+// GoodDeploy verifies the decoded message first: clean.
+func GoodDeploy(b []byte) {
+	m, err := DecodeMsg(b)
+	if err != nil {
+		return
+	}
+	if err := m.Verify(); err != nil {
+		return
+	}
+	Deploy(m.Rule)
+}
+
+// BadInstall acts on a wire record without verifying it.
+func BadInstall(t *Table, r *Record) {
+	t.Install(string(r.Body)) // want `unverified data flows into sink Install`
+}
+
+// GoodInstall verifies before the sink: clean.
+func GoodInstall(t *Table, r *Record) {
+	if err := r.Verify(); err != nil {
+		return
+	}
+	t.Install(string(r.Body))
+}
+
+// Absorb hands unverified wire data to a helper whose summary says it
+// persists its argument; reported here, naming the store site.
+func (t *Table) Absorb(r *Record) {
+	t.add(string(r.Body)) // want `unverified data flows into add, which writes it to persistent state`
+}
+
+// BadGlobal persists wire data into package-level state directly.
+func BadGlobal(r *Record) {
+	defaultRules = append(defaultRules, string(r.Body)) // want `unverified data flows into persistent state`
+}
+
+// GoodGlobal verifies first: clean.
+func GoodGlobal(r *Record) {
+	if err := r.Verify(); err != nil {
+		return
+	}
+	defaultRules = append(defaultRules, string(r.Body))
+}

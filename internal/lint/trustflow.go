@@ -1,0 +1,112 @@
+package lint
+
+// trustflow machine-checks the paper's trust story: nothing decoded
+// from the wire, an overlay replica, or a provider may reach a
+// deploy/install/compile/store sink until a Verify*/Validate*
+// sanitizer has vouched for it. Sources, sinks, wire types and the
+// sanitizer pattern come from Config; the engine is dataflow.go's
+// path-keyed taint analysis run over every function in
+// Config.TaintPkgs.
+//
+// Reporting model:
+//   - Exported functions and function literals cannot enumerate their
+//     callers, so wire-typed parameters (Config.WireTypes) are presumed
+//     tainted inside them.
+//   - Unexported functions are covered at their call sites through
+//     summaries: passing a tainted value to a function that stores it
+//     unverified is reported at the call, naming the store site.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var TrustFlowAnalyzer = &Analyzer{
+	Name: "trustflow",
+	Doc:  "wire/overlay/provider data must pass a Verify*/Validate* sanitizer before any deploy, install, compile or persistent-store sink",
+	RunModule: func(mp *ModulePass) {
+		runTrustFlow(mp)
+	},
+}
+
+// taintFn is one analyzable function body in a taint package.
+type taintFn struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	fn   *types.Func
+}
+
+func runTrustFlow(mp *ModulePass) {
+	cfg := mp.Config
+	if len(cfg.TaintPkgs) == 0 || len(cfg.TaintSinks) == 0 {
+		return
+	}
+	var fns []taintFn
+	for _, pkg := range mp.Pkgs {
+		if !cfg.TaintPkgs[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				fns = append(fns, taintFn{pkg, fd, fn})
+			}
+		}
+	}
+
+	// Two summary rounds: round one sees only configured facts, round
+	// two sees round-one summaries — call-site knowledge two levels
+	// deep, enough for helper→store chains.
+	summaries := map[*types.Func]*taintSummary{}
+	for round := 0; round < 2; round++ {
+		next := make(map[*types.Func]*taintSummary, len(fns))
+		for _, e := range fns {
+			a := &taintAnalysis{
+				cfg:       cfg,
+				pkg:       e.pkg,
+				fset:      mp.Fset(),
+				summaries: summaries,
+				sum:       &taintSummary{},
+			}
+			a.analyzeBody(e.fn.Type().(*types.Signature), e.decl.Body, false)
+			next[e.fn] = a.sum
+		}
+		summaries = next
+	}
+
+	// Reporting pass.
+	for _, e := range fns {
+		pkg := e.pkg
+		rep := func(pos token.Pos, format string, args ...interface{}) {
+			mp.Reportf(pkg, pos, format, args...)
+		}
+		a := &taintAnalysis{cfg: cfg, pkg: pkg, fset: mp.Fset(), summaries: summaries, report: rep}
+		a.analyzeBody(e.fn.Type().(*types.Signature), e.decl.Body, e.fn.Exported())
+
+		// Function literals run as their own functions with wire
+		// parameters presumed tainted — they are callbacks whose
+		// callers (overlay RPC completions, netsim handlers) hand them
+		// raw wire data.
+		ast.Inspect(e.decl.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			sig, ok := pkg.Info.Types[lit].Type.(*types.Signature)
+			if !ok {
+				return true
+			}
+			la := &taintAnalysis{cfg: cfg, pkg: pkg, fset: mp.Fset(), summaries: summaries, report: rep}
+			la.analyzeBody(sig, lit.Body, true)
+			return true
+		})
+	}
+}

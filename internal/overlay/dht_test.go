@@ -1,7 +1,6 @@
 package overlay
 
 import (
-	"errors"
 	"math/bits"
 	"testing"
 	"time"
@@ -189,13 +188,14 @@ func TestDHTTamperedModuleRejectedAtFetch(t *testing.T) {
 	var res LookupResult
 	nodes[10].Get(key, func(r LookupResult) { res = r })
 	net.Clock.Run()
-	if !res.Found {
-		t.Fatal("tampered record should still arrive (rejection happens at verification)")
+	// Tampered records are dropped at the lookup merge: the re-signed
+	// body no longer matches the record's content key, so Verify fails
+	// and nothing reaches the caller.
+	if res.Found {
+		t.Fatalf("tampered records must be rejected at the merge, got %d", len(res.Records))
 	}
-	for _, r := range res.Records {
-		if _, err := DecodeModuleRecord(r); !errors.Is(err, ErrBadContentKey) {
-			t.Fatalf("tampered fetch: %v, want ErrBadContentKey", err)
-		}
+	if nodes[10].Stats.BadRecords == 0 {
+		t.Fatal("looker did not count the rejected records")
 	}
 
 	// Honest replicas (hook removed): the same fetch verifies and
@@ -213,6 +213,50 @@ func TestDHTTamperedModuleRejectedAtFetch(t *testing.T) {
 	s.RegisterPublisher("acme", kp.Public)
 	if _, err := s.InstallRemote("alice", got, key.String()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A single malicious replica answers a find-value with a forged copy
+// of an honest record whose Seq is inflated. Seq is covered by the
+// signature, so the forgery cannot verify — but before lookups
+// verified at the merge, the fake's higher Seq displaced the honest,
+// verifiable record from the highest-Seq-per-publisher merge and the
+// caller was left with junk it could only reject. (Found by the
+// trustflow analyzer: onReply stored wire-decoded records without a
+// Verify on the path.)
+func TestDHTForgedHighSeqCannotDisplaceHonestRecord(t *testing.T) {
+	net, nodes := newSwarm(t, 10, 16, Config{Replicate: 16, K: 16})
+	kp := testKey(t, 107)
+	ad := OfferAd{Provider: "isp-a", DeployServer: "d", Standards: []string{"s/1"}, Supported: map[string]int64{"t": 1}}
+	var acks int
+	nodes[1].Put(NewOfferRecord("pvn", ad, kp, 1), func(n int) { acks = n })
+	net.Clock.Run()
+	if acks == 0 {
+		t.Fatal("record never stored")
+	}
+
+	// One replica turns malicious and serves the stored record with
+	// Seq bumped to 99 (invalidating the signature it leaves intact).
+	nodes[3].TamperStored = func(r *Record) *Record {
+		evil := *r
+		evil.Seq = 99
+		return &evil
+	}
+
+	var res LookupResult
+	nodes[10].Get(ServiceKey("pvn"), func(r LookupResult) { res = r })
+	net.Clock.Run()
+	if !res.Found || len(res.Records) != 1 {
+		t.Fatalf("get: found=%v records=%d", res.Found, len(res.Records))
+	}
+	if res.Records[0].Seq != 1 {
+		t.Fatalf("merged record has seq %d: a forged high-Seq copy displaced the honest record", res.Records[0].Seq)
+	}
+	if _, err := DecodeOfferAd(res.Records[0]); err != nil {
+		t.Fatalf("honest record no longer decodes: %v", err)
+	}
+	if nodes[10].Stats.BadRecords == 0 {
+		t.Fatal("looker did not count the forged record")
 	}
 }
 

@@ -57,9 +57,11 @@ func (n *Node) Lookup(target ID, done func(LookupResult)) {
 
 // Get runs an iterative find-value: like Lookup, but responders
 // holding records under the key return them and the result carries
-// the merged set (highest Seq per publisher). The caller re-verifies
-// each record (DecodeOfferAd / DecodeModuleRecord) — replicas are
-// untrusted.
+// the merged set (highest Seq per publisher). Replicas are untrusted:
+// every returned record is signature-verified before it may enter the
+// merge (a forgery must not displace an honest record), and callers
+// still re-check content bindings via DecodeOfferAd /
+// DecodeModuleRecord.
 func (n *Node) Get(key ID, done func(LookupResult)) {
 	n.startLookup(key, true, done)
 }
@@ -185,12 +187,28 @@ func (lk *lookup) round() {
 func (lk *lookup) onReply(e *lkEntry, resp *Envelope) {
 	e.responded = true
 	for _, pi := range resp.Peers {
+		// DecodeEnvelope bounds-checked these, but re-check the key
+		// binding here: shortlist entries drive who we talk to next.
+		if !pi.valid() {
+			continue
+		}
 		if _, known := lk.entries[pi.ID]; !known {
 			lk.entries[pi.ID] = &lkEntry{peer: pi.Peer()}
 		}
 	}
 	if lk.findValue && resp.Kind == KindValue {
 		for _, r := range resp.Records {
+			// Verify before the record enters the merge. Without this
+			// a malicious replica could answer with a forged record
+			// carrying an inflated Seq under an honest publisher's
+			// name: the forgery would displace the honest, verifiable
+			// record from the highest-Seq-per-publisher merge, and the
+			// caller's later verification would reject it — the
+			// honest record lost to a fake the replica knew was junk.
+			if err := r.Verify(); err != nil {
+				lk.n.Stats.BadRecords++
+				continue
+			}
 			byPub := lk.records[lk.target]
 			if byPub == nil {
 				byPub = make(map[string]*Record)

@@ -51,7 +51,7 @@ type Stats struct {
 	RepliesSent  int // requests answered
 	Timeouts     int // requests that expired unanswered
 	BadEnvelopes int // undecodable wire messages dropped
-	BadRecords   int // store requests rejected by verification
+	BadRecords   int // records rejected by verification (store requests and lookup replies)
 	GossipMerged int // reputation claims that changed local state
 }
 
@@ -289,7 +289,9 @@ func (n *Node) deliver(msg *netsim.Message) {
 	}
 	// Every valid envelope refreshes the sender's contact and merges
 	// its gossip — anti-entropy rides on all traffic.
+	//lint:allow trustflow DecodeEnvelope validated From's key binding; contact freshness is by design unauthenticated (Kademlia liveness, not identity)
 	n.table.Update(e.From.Peer(), n.clock.Now())
+	//lint:allow trustflow gossip claims are unsigned by design; Merge caps per-claim influence and the reputation model discounts unverified reporters
 	n.Stats.GossipMerged += n.rep.Merge(e.Gossip)
 
 	switch e.Kind {
@@ -357,4 +359,3 @@ func (n *Node) closestInfos(target ID) []PeerInfo {
 	}
 	return out
 }
-

@@ -25,10 +25,10 @@ const (
 
 // Record errors, comparable with errors.Is.
 var (
-	ErrBadRecordSig   = errors.New("overlay: record signature invalid")
-	ErrBadContentKey  = errors.New("overlay: record key does not match content address")
-	ErrBadServiceKey  = errors.New("overlay: record key does not match its service")
-	ErrBadRecordKind  = errors.New("overlay: unknown record kind")
+	ErrBadRecordSig    = errors.New("overlay: record signature invalid")
+	ErrBadContentKey   = errors.New("overlay: record key does not match content address")
+	ErrBadServiceKey   = errors.New("overlay: record key does not match its service")
+	ErrBadRecordKind   = errors.New("overlay: unknown record kind")
 	ErrRecordMalformed = errors.New("overlay: malformed record")
 )
 

@@ -554,7 +554,13 @@ func (e *Engine) opFetch() {
 	st := store.New()
 	st.RegisterPublisher("acme", ow.pub.Public)
 	e.fetches++
+	// Tampered replica answers are dropped at the lookup merge (the
+	// forged signature fails Verify there), so most campaign rejections
+	// surface as the looker's BadRecords delta rather than as install
+	// failures.
+	before := ow.devNode.Stats.BadRecords
 	ow.devNode.Get(ow.modKey, func(r overlay.LookupResult) {
+		e.rejects += int64(ow.devNode.Stats.BadRecords - before)
 		for _, rec := range r.Records {
 			m, err := overlay.DecodeModuleRecord(rec)
 			if err != nil {
